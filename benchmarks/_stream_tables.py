@@ -1,0 +1,61 @@
+"""Common driver for the Table 2–7 benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core import make_codec
+from repro.experiments import PAPER_AVERAGES, compare_with_paper
+from repro.metrics import PaperTable
+from repro.tracegen import get_profile, instruction_trace
+
+from benchmarks.conftest import publish
+
+#: How close the measured nine-benchmark average savings must sit to the
+#: paper's published averages (absolute, in savings points).  The traces are
+#: synthetic reconstructions, so the tolerance is loose but binding — it
+#: guards the *shape*: who wins, by roughly what factor.
+AVERAGE_TOLERANCE = {
+    2: 0.05,
+    3: 0.05,
+    4: 0.08,
+    5: 0.05,
+    6: 0.05,
+    7: 0.08,
+}
+
+
+def run_stream_table(
+    results_dir,
+    benchmark,
+    table_id: int,
+    builder: Callable[[], PaperTable],
+) -> PaperTable:
+    """Build a full-length paper table, publish it, check its averages."""
+    table = builder()
+    text = table.render() + "\n\n" + compare_with_paper(table_id, table)
+    publish(results_dir, f"table{table_id}", text)
+
+    paper = PAPER_AVERAGES[f"table{table_id}"]
+    tolerance = AVERAGE_TOLERANCE[table_id]
+    for code, published in paper.items():
+        if code == "in_sequence":
+            continue
+        measured = table.average_savings(code)
+        assert abs(measured - published) <= tolerance, (
+            f"table {table_id}: {code} average savings {measured:.2%} "
+            f"deviates more than {tolerance:.0%} from paper {published:.2%}"
+        )
+
+    # Timed unit: encoding one full benchmark stream with the table's first
+    # candidate code.
+    trace = instruction_trace(get_profile("gzip"), 8000)
+    codec = make_codec(table.codec_names[0], 32)
+
+    def workload():
+        encoder = codec.make_encoder()
+        return encoder.encode_stream(trace.addresses)
+
+    words = benchmark(workload)
+    assert len(words) == len(trace)
+    return table

@@ -1,0 +1,41 @@
+"""Ablation B — savings vs stream sequentiality: code crossover points.
+
+Sweeps the in-sequence fraction and locates where the T0 family overtakes
+bus-invert — the boundary behind the paper's "T0 for instruction buses,
+bus-invert for data buses" guidance.
+"""
+
+from repro.experiments import render_sweep, sequentiality_sweep
+
+from benchmarks.conftest import publish
+
+
+def test_sequentiality_ablation(results_dir, benchmark):
+    fractions = (0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9)
+    points = sequentiality_sweep(fractions=fractions, length=20000)
+    publish(
+        results_dir,
+        "ablation_sequentiality",
+        render_sweep(points, "in-seq", "Ablation B — savings vs in-sequence fraction"),
+    )
+
+    # T0 savings grow monotonically with sequentiality.
+    t0_curve = [p.savings["t0"] for p in points]
+    assert all(b >= a - 0.01 for a, b in zip(t0_curve, t0_curve[1:]))
+
+    # At high sequentiality T0 dominates bus-invert; at the bottom of the
+    # sweep bus-invert is competitive.
+    assert points[-1].savings["t0"] > points[-1].savings["bus-invert"] + 0.2
+    assert points[0].savings["t0"] < 0.1
+
+    # At the sequential end, T0's redundancy decisively beats the best
+    # irredundant code (Gray); at the random end Gray can edge ahead
+    # because local branch displacements are Gray-cheap -- both findings
+    # are recorded in the published sweep.
+    assert points[-1].savings["t0"] > points[-1].savings["gray"]
+    assert points[-1].savings["inc-xor"] > points[-1].savings["gray"]
+
+    def workload():
+        return sequentiality_sweep(fractions=(0.2, 0.8), length=3000)
+
+    assert len(benchmark(workload)) == 2

@@ -1,0 +1,32 @@
+"""Ablation A — stride sensitivity of the T0 family.
+
+DESIGN.md design choice 1: the stride S must match the machine's
+addressability (4 bytes for word-addressed MIPS instruction fetch).  The
+sweep quantifies what a mis-configured stride costs each T0-family code.
+"""
+
+from repro.experiments import render_sweep, stride_sweep
+
+from benchmarks.conftest import publish
+
+
+def test_stride_ablation(results_dir, benchmark):
+    points = stride_sweep(strides=(1, 2, 4, 8, 16), length=20000)
+    publish(
+        results_dir,
+        "ablation_stride",
+        render_sweep(points, "stride", "Ablation A — T0-family stride sensitivity"),
+    )
+
+    by_stride = {p.parameter: p.savings for p in points}
+    # The native stride is optimal for every T0-family code...
+    for code in ("t0", "t0bi", "dualt0bi"):
+        best = max(by_stride, key=lambda s: by_stride[s][code])
+        assert best == 4.0
+    # ...and a wrong stride forfeits most of T0's savings.
+    assert by_stride[1.0]["t0"] < 0.3 * by_stride[4.0]["t0"]
+
+    def workload():
+        return stride_sweep(strides=(1, 4), length=3000)
+
+    assert len(benchmark(workload)) == 2

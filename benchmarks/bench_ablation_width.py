@@ -1,0 +1,70 @@
+"""Ablation F — bus-width scaling (the paper's motivation revisited).
+
+The introduction motivates the problem with the drift to 64-bit address
+spaces (DEC Alpha, PowerPC 620).  This sweep regenerates the headline
+comparison at 16/32/64-bit widths: absolute savings grow with width for
+bus-invert (lambda/N falls) while the T0 family's relative savings are
+width-insensitive (sequentiality is a stream property, not a bus property).
+"""
+
+from repro.core import make_codec
+from repro.metrics import compare_codecs, render_table
+from repro.power.analytical import bus_invert_random_transitions
+from repro.tracegen import random_stream, synthetic_instruction_stream
+from repro.tracegen.synthetic import InstructionProfile
+
+from benchmarks.conftest import publish
+
+WIDTHS = (16, 32, 64)
+
+
+def test_width_ablation(results_dir, benchmark):
+    body = []
+    t0_savings = {}
+    bi_random_eff = {}
+    for width in WIDTHS:
+        mask = (1 << width) - 1
+        profile = InstructionProfile.for_in_sequence(0.63)
+        instruction = [
+            a & mask
+            for a in synthetic_instruction_stream(
+                15000, profile=profile, seed=3
+            ).addresses
+        ]
+        row = compare_codecs(
+            [make_codec("t0", width, stride=4)], instruction, stride=4
+        )
+        t0_savings[width] = row.result("t0").savings
+
+        random_addresses = random_stream(8000, width=width, seed=3).addresses
+        bi_row = compare_codecs(
+            [make_codec("bus-invert", width)], random_addresses, stride=4
+        )
+        bi_random_eff[width] = bi_row.result("bus-invert").savings
+        analytic = 1.0 - bus_invert_random_transitions(width) / (width / 2)
+        body.append(
+            [
+                str(width),
+                f"{t0_savings[width]:.2%}",
+                f"{bi_random_eff[width]:.2%}",
+                f"{analytic:.2%}",
+            ]
+        )
+    text = render_table(
+        ["bus width", "t0 on instr stream", "bus-invert on random",
+         "bus-invert analytic"],
+        body,
+        title="Ablation F — savings vs bus width",
+    )
+    publish(results_dir, "ablation_width", text)
+
+    # T0's relative savings barely move with width...
+    assert abs(t0_savings[64] - t0_savings[16]) < 0.15
+    # ...while bus-invert's random-stream savings shrink as the bus widens
+    # (the binomial tail thins: lambda/(N/2) -> 1).
+    assert bi_random_eff[16] > bi_random_eff[32] > bi_random_eff[64]
+
+    def workload():
+        return bus_invert_random_transitions(64)
+
+    assert benchmark(workload) < 32

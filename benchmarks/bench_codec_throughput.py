@@ -1,0 +1,25 @@
+"""Microbenchmark — software encoding throughput of every code.
+
+Not a paper table: characterises this library itself, so users know the
+simulation cost of each code when scaling to long traces.
+"""
+
+import pytest
+
+from repro.core import available_codecs, make_codec
+from repro.tracegen import get_profile, multiplexed_trace
+
+TRACE = multiplexed_trace(get_profile("gzip"), 4000)
+NAMES = [n for n in available_codecs() if n != "beach"]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_codec_throughput(benchmark, name):
+    codec = make_codec(name, 32)
+    addresses, sels = TRACE.addresses, TRACE.sels
+
+    def workload():
+        return codec.make_encoder().encode_stream(addresses, sels)
+
+    words = benchmark(workload)
+    assert len(words) == len(addresses)

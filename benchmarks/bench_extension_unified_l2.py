@@ -1,0 +1,54 @@
+"""Extension H — the unified-L2 address bus (T0_BI's deployment target).
+
+Paper Section 3.1 motivates T0_BI with "external second-level unified data
+and instruction caches".  Split L1s filter the core's instruction and data
+streams; the miss/refill traffic merges onto one unified L2 address bus.
+This bench measures every relevant code on that bus across the nine
+benchmarks.
+"""
+
+from repro.core import make_codec
+from repro.memory import unified_l2_trace
+from repro.metrics import PaperTable, compare_codecs
+from repro.tracegen import BENCHMARKS, get_profile, multiplexed_trace
+
+from benchmarks.conftest import publish
+
+CODES = ("t0", "bus-invert", "t0bi", "dualt0bi")
+
+
+def test_unified_l2_extension(results_dir, benchmark):
+    codecs = [make_codec(name, 32) for name in CODES]
+    table = PaperTable(
+        "Extension H — codes on the unified L2 address bus", list(CODES)
+    )
+    ratios = []
+    for profile in BENCHMARKS:
+        core = multiplexed_trace(profile, 15000)
+        result = unified_l2_trace(core)
+        ratios.append(result.traffic_ratio)
+        trace = result.l2_trace
+        table.add(
+            compare_codecs(
+                codecs, trace.addresses, trace.sels, benchmark=profile.name
+            )
+        )
+    text = table.render()
+    text += (
+        f"\n\nmean L2/core traffic ratio: {sum(ratios)/len(ratios):.2f} "
+        "(refill amplification vs hit filtering)"
+    )
+    publish(results_dir, "extension_unified_l2", text)
+
+    # Refill bursts keep the bus sequential: the T0 family holds its
+    # savings behind the hierarchy, bus-invert stays marginal.
+    assert table.average_savings("t0") > 0.2
+    assert table.average_savings("t0bi") > 0.2
+    assert table.average_savings("t0bi") > table.average_savings("bus-invert")
+
+    core = multiplexed_trace(get_profile("gzip"), 6000)
+
+    def workload():
+        return unified_l2_trace(core)
+
+    assert benchmark(workload).core_cycles == len(core)

@@ -1,0 +1,61 @@
+"""Table 1 — analytical comparison of binary / T0 / bus-invert.
+
+Regenerates the closed-form table and cross-checks it against Monte Carlo
+simulation of the behavioural encoders on the two extreme stream classes.
+The timed workload is the bus-invert encoder on a random stream (the
+expensive analytical case).
+"""
+
+import random
+
+from repro.core import make_codec
+from repro.experiments import table1_text
+from repro.metrics import count_transitions
+from repro.power.analytical import (
+    bus_invert_random_transitions,
+    table1_as_dict,
+)
+from repro.tracegen import random_stream, sequential_stream
+
+from benchmarks.conftest import publish
+
+WIDTH = 32
+MONTE_CARLO_LENGTH = 20000
+
+
+def test_table1_regeneration(results_dir, benchmark):
+    text = table1_text(width=WIDTH)
+
+    # Monte Carlo cross-check of every cell.
+    random_addresses = random_stream(MONTE_CARLO_LENGTH, seed=1).addresses
+    # Stride-1 consecutive addresses, matching Table 1's unit-step analysis.
+    sequential_addresses = sequential_stream(MONTE_CARLO_LENGTH, stride=1).addresses
+    measured_lines = ["", "Monte Carlo cross-check (20k addresses):"]
+    expected = table1_as_dict(WIDTH, stride=1)
+    for stream_name, addresses in (
+        ("random", random_addresses),
+        ("sequential", sequential_addresses),
+    ):
+        for code in ("binary", "t0", "bus-invert"):
+            codec = (
+                make_codec(code, WIDTH, stride=1)
+                if code == "t0"
+                else make_codec(code, WIDTH)
+            )
+            words = codec.make_encoder().encode_stream(addresses)
+            per_cycle = count_transitions(words, width=WIDTH).per_cycle
+            predicted = expected[f"{stream_name}/{code}"]["per_clock"]
+            measured_lines.append(
+                f"  {stream_name:10s} {code:10s} measured {per_cycle:8.4f}"
+                f"  predicted {predicted:8.4f}"
+            )
+            assert abs(per_cycle - predicted) < max(0.05 * predicted, 0.02)
+
+    publish(results_dir, "table1", text + "\n".join(measured_lines))
+
+    # Timed unit: the bus-invert closed form across widths.
+    def workload():
+        return [bus_invert_random_transitions(width) for width in range(2, 65, 2)]
+
+    values = benchmark(workload)
+    assert values[-1] < 32

@@ -1,0 +1,19 @@
+"""Table 5 — mixed codes on instruction address streams.
+
+Paper averages: T0_BI 34.92 %, dual T0 35.52 %, dual T0_BI 35.52 % — all
+matching plain T0, which the paper therefore prefers here for its cheaper
+codec.
+"""
+
+from repro.experiments import table2, table5
+
+from benchmarks._stream_tables import run_stream_table
+
+
+def test_table5_mixed_instruction_streams(results_dir, benchmark):
+    table = run_stream_table(results_dir, benchmark, 5, table5)
+    # The mixed codes give the same savings as plain T0 on instruction
+    # streams (paper Section 3.4, first observation).
+    plain_t0 = table2().average_savings("t0")
+    for code in ("t0bi", "dualt0", "dualt0bi"):
+        assert abs(table.average_savings(code) - plain_t0) < 0.03

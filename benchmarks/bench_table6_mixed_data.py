@@ -1,0 +1,17 @@
+"""Table 6 — mixed codes on data address streams.
+
+Paper averages: T0_BI 12.82 %, dual T0 0.00 %, dual T0_BI 10.66 %.
+"""
+
+from repro.experiments import table6
+
+from benchmarks._stream_tables import run_stream_table
+
+
+def test_table6_mixed_data_streams(results_dir, benchmark):
+    table = run_stream_table(results_dir, benchmark, 6, table6)
+    # Dual T0 never fires on a pure data stream (SEL stays low).
+    assert table.average_savings("dualt0") == 0.0
+    # T0_BI is the paper's recommendation for data buses.
+    best = max(("t0bi", "dualt0", "dualt0bi"), key=table.average_savings)
+    assert best == "t0bi"

@@ -1,0 +1,30 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables (or an
+ablation) at full stream length, prints it, writes it under
+``benchmarks/results/`` and times a representative workload with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a result block and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

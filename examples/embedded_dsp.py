@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Embedded/DSP scenario: stream-adaptive codes on repetitive kernels.
+
+The Beach code (paper reference [7]) targets special-purpose systems where a
+dedicated processor repeatedly executes the same embedded code, so the
+address stream has strong block correlations but little plain sequentiality.
+This example builds such a workload with the MIPS-like CPU — the same
+kernel executed over and over — trains the Beach code on one run, and
+compares it with the general-purpose codes (plus working-zone encoding) on
+subsequent runs.
+
+Run:  python examples/embedded_dsp.py
+"""
+
+from repro import make_codec
+from repro.metrics import compare_codecs, render_table
+from repro.tracegen import concatenate, trace_kernel
+
+
+def main() -> None:
+    # One "firmware main loop": linked-list traversal + histogram, repeated.
+    _, _, list_trace = trace_kernel("linked_list")
+    _, _, histogram_trace = trace_kernel("histogram")
+
+    print("training run:  linked_list + histogram kernels")
+    training = list(list_trace.addresses) + list(histogram_trace.addresses)
+
+    # Deployment runs: the same firmware loop, over and over.
+    deployment = concatenate(
+        [list_trace, histogram_trace, list_trace, histogram_trace],
+        name="firmware.loop",
+    )
+    sels = deployment.effective_sels()
+    stats = deployment.statistics()
+    print(f"deployment stream: {len(deployment)} cycles, {stats}")
+    print()
+
+    codecs = [
+        make_codec("gray", 32, stride=4),
+        make_codec("bus-invert", 32),
+        make_codec("t0", 32, stride=4),
+        make_codec("dualt0bi", 32, stride=4),
+        make_codec("wze", 32, zones=4, stride=4),
+        make_codec("beach", 32, training=training, cluster_size=4),
+    ]
+    row = compare_codecs(codecs, deployment.addresses, sels, stride=4)
+
+    body = [["binary", str(row.binary_transitions), "0.00%"]]
+    for result in sorted(row.results, key=lambda r: r.transitions):
+        body.append(
+            [result.name, str(result.transitions), f"{result.savings:.2%}"]
+        )
+    print(
+        render_table(
+            ["code", "transitions", "savings"],
+            body,
+            title="Embedded firmware loop (CPU-generated multiplexed bus)",
+        )
+    )
+    print()
+    beach = row.result("beach")
+    print(
+        f"the trained beach code saves {beach.savings:.1%} with zero "
+        "redundant wires — viable exactly because the deployment stream "
+        "repeats the training behaviour (the paper's embedded-system case)."
+    )
+
+
+if __name__ == "__main__":
+    main()

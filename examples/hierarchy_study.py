@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Memory-hierarchy study: which code for which bus level?
+
+The paper's closing question ("identifying the most appropriate encoding
+schemes for different types of memory hierarchies") worked end to end:
+
+1. generate a core-side multiplexed stream,
+2. filter it through split L1 caches into the unified-L2 bus the paper
+   aims T0_BI at (Section 3.1),
+3. compare the codes on both buses,
+4. cross-check the measured savings against the first-order analytical
+   predictors — no encoding needed, just stream statistics.
+
+Run:  python examples/hierarchy_study.py
+"""
+
+from repro.core import make_codec
+from repro.memory import CacheConfig, HierarchyConfig, unified_l2_trace
+from repro.metrics import compare_codecs, render_table
+from repro.power import (
+    StreamModel,
+    hamming_step_histogram,
+    predict_bus_invert_savings,
+    predict_t0_savings,
+)
+from repro.tracegen import get_profile, multiplexed_trace
+
+CODES = ("t0", "bus-invert", "t0bi", "dualt0", "dualt0bi")
+
+
+def measure(trace):
+    codecs = [make_codec(name, 32) for name in CODES]
+    row = compare_codecs(
+        codecs, trace.addresses, trace.effective_sels(), stride=4
+    )
+    return {result.name: result.savings for result in row.results}
+
+
+def main() -> None:
+    core = multiplexed_trace(get_profile("gzip"), 25000)
+    hierarchy = HierarchyConfig(
+        l1i=CacheConfig(size_bytes=8192, line_bytes=16, ways=1),
+        l1d=CacheConfig(size_bytes=8192, line_bytes=16, ways=2),
+    )
+    result = unified_l2_trace(core, hierarchy)
+    l2 = result.l2_trace
+
+    print(
+        f"core bus: {len(core)} cycles | "
+        f"L1I hit {result.l1i_hit_rate:.1%}, L1D hit {result.l1d_hit_rate:.1%} | "
+        f"unified L2 bus: {len(l2)} cycles "
+        f"(x{result.traffic_ratio:.2f} refill amplification)"
+    )
+    print()
+
+    core_savings = measure(core)
+    l2_savings = measure(l2)
+    body = [
+        [name, f"{core_savings[name]:.2%}", f"{l2_savings[name]:.2%}"]
+        for name in CODES
+    ]
+    print(
+        render_table(
+            ["code", "core (L1) bus", "unified L2 bus"],
+            body,
+            title="Savings vs binary, per hierarchy level",
+        )
+    )
+    print()
+
+    # Analytical cross-check: predict without encoding.
+    model = StreamModel.from_stream(l2.addresses)
+    t0_predicted = predict_t0_savings(model)
+    bi_predicted = predict_bus_invert_savings(
+        hamming_step_histogram(l2.addresses), 32
+    )
+    print("first-order predictors on the L2 bus (no encoding performed):")
+    print(
+        f"  t0:         predicted {t0_predicted:6.2%}   "
+        f"measured {l2_savings['t0']:6.2%}"
+    )
+    print(
+        f"  bus-invert: predicted {bi_predicted:6.2%}   "
+        f"measured {l2_savings['bus-invert']:6.2%}"
+    )
+    print()
+    print(
+        "refill bursts keep the L2 bus sequential, so the T0 family carries "
+        "its savings through the hierarchy — the combined T0_BI code is the "
+        "robust pick for a unified L2 bus, as the paper anticipated."
+    )
+
+
+if __name__ == "__main__":
+    main()

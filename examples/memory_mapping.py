@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Low-power memory mapping (Panda–Dutt) next to bus encoding.
+
+Reference [1] of the paper reduces address-bus activity by choosing *where*
+data lives instead of *how* addresses are encoded.  This example optimises
+the layout of a variable-access workload, shows the transition reduction,
+and then measures what the bus codes add on top of each layout.
+
+Run:  python examples/memory_mapping.py
+"""
+
+import random
+
+from repro import make_codec
+from repro.mapping import declaration_order_layout, evaluate_layout, optimize_layout
+from repro.metrics import count_transitions, render_table
+
+
+def synthesize_accesses(length: int = 8000, seed: int = 11):
+    """A control-loop style workload: hot state variables ping-ponging,
+    with occasional configuration-table scans."""
+    rng = random.Random(seed)
+    hot = ["sensor", "setpoint", "error", "integral", "output"]
+    table = [f"coef{i}" for i in range(16)]
+    accesses = []
+    while len(accesses) < length:
+        roll = rng.random()
+        if roll < 0.75:
+            accesses += ["sensor", "setpoint", "error", "integral",
+                         "error", "output"]
+        elif roll < 0.9:
+            accesses += rng.sample(hot, 3)
+        else:
+            accesses += table  # full sweep of the coefficient table
+    return accesses[:length]
+
+
+def main() -> None:
+    accesses = synthesize_accesses()
+    result = optimize_layout(accesses, mode="gray")
+    baseline = declaration_order_layout(accesses)
+
+    print(f"workload: {len(accesses)} variable accesses, "
+          f"{len(result.addresses)} distinct variables")
+    print(f"declaration-order layout: {result.baseline_transitions} transitions")
+    print(f"panda-dutt layout:        {result.transitions} transitions "
+          f"({result.savings:.1%} saved)")
+    print()
+    print("optimised placement order (first 10):",
+          ", ".join(result.order[:10]))
+    print()
+
+    body = []
+    for layout_name, layout_map in (
+        ("declaration order", baseline),
+        ("panda-dutt", result.addresses),
+    ):
+        addresses = [layout_map[name] for name in accesses]
+        cells = [layout_name]
+        for codec_name in ("binary", "gray", "bus-invert", "t0bi"):
+            codec = make_codec(codec_name, 32)
+            words = codec.make_encoder().encode_stream(addresses)
+            cells.append(str(count_transitions(words, width=32).total))
+        body.append(cells)
+    print(
+        render_table(
+            ["layout", "binary", "gray", "bus-invert", "t0bi"],
+            body,
+            title="Layout x encoding matrix (bus transitions)",
+        )
+    )
+    print()
+    print(
+        "placement and encoding attack the same quantity from different "
+        "sides: a good layout shrinks what is left for the codes to save — "
+        "pick the cheaper technique first for your design constraints."
+    )
+
+
+if __name__ == "__main__":
+    main()

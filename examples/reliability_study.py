@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Reliability study: the hidden price of stateful bus codes.
+
+Power-saving bus codes keep registers at both ends of the wire.  A single
+bus glitch — one wire, one cycle — therefore behaves very differently per
+code: a memoryless code misdecodes one address; a stateful one can
+desynchronize.  This script injects faults into every code on the same
+stream and reports corruption spread, detection and masking.
+
+Run:  python examples/reliability_study.py
+"""
+
+from repro.core import available_codecs, make_codec
+from repro.metrics import render_table
+from repro.reliability import error_propagation, run_fault_campaign
+from repro.tracegen import get_profile, multiplexed_trace, sequential_stream
+
+
+def main() -> None:
+    trace = multiplexed_trace(get_profile("espresso"), 1000)
+    print(f"stream: {trace.name}, {len(trace)} cycles; "
+          "100 single-wire faults per code\n")
+
+    body = []
+    for name in sorted(n for n in available_codecs() if n != "beach"):
+        campaign = run_fault_campaign(
+            make_codec(name, 32), trace.addresses, trace.sels,
+            injections=100, seed=13,
+        )
+        body.append(
+            [
+                name,
+                f"{campaign.mean_corrupted_cycles:.2f}",
+                str(campaign.max_corrupted_cycles),
+                f"{campaign.detected_fraction:.0%}",
+                f"{campaign.silent_fraction:.0%}",
+                f"{campaign.masked_fraction:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["code", "mean corrupted", "max", "detected", "silent", "masked"],
+            body,
+            title="Fault-injection campaign",
+        )
+    )
+
+    print()
+    print("anatomy of one fault (INC wire flipped during a sequential run):")
+    stream = list(sequential_stream(60).addresses)
+    for name in ("binary", "t0", "offset"):
+        line = 32 if name == "t0" else 5
+        result = error_propagation(make_codec(name, 32), stream, None, 20, line)
+        print(
+            f"  {name:8s} -> {result.corrupted_cycles:3d} wrong addresses "
+            f"(first at cycle {result.first_error_cycle})"
+        )
+    print()
+    print(
+        "takeaway: T0-family desynchronization is bounded by the next "
+        "out-of-sequence address, the offset code integrates errors forever "
+        "— pair aggressive codes with bus error control if glitches matter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,406 @@
+"""Command-line front end: ``repro-bus`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+* ``list-codecs``            — registered bus codes
+* ``table N``                — regenerate paper table N (1–9)
+* ``analyze``                — compare codes on a benchmark stream or file
+* ``generate``               — write a synthetic benchmark trace to a file
+* ``kernel NAME``            — run a CPU kernel and summarize its traces
+* ``sweep {stride,seq}``     — run an ablation sweep
+* ``power``                  — gate-level codec power for a given load
+* ``timing``                 — codec circuit critical paths (STA)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import available_codecs, make_codec
+from repro.metrics import compare_codecs, render_table, stream_statistics
+from repro.tracegen import (
+    AddressTrace,
+    BENCHMARK_NAMES,
+    data_trace,
+    get_profile,
+    instruction_trace,
+    kernel_names,
+    multiplexed_trace,
+    trace_kernel,
+)
+
+
+def _load_trace(args: argparse.Namespace) -> AddressTrace:
+    if args.trace_file:
+        return AddressTrace.load(args.trace_file)
+    profile = get_profile(args.benchmark)
+    makers = {
+        "instruction": instruction_trace,
+        "data": data_trace,
+        "multiplexed": multiplexed_trace,
+    }
+    return makers[args.kind](profile, args.length)
+
+
+def _cmd_list_codecs(args: argparse.Namespace) -> int:
+    for name in available_codecs():
+        print(name)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    number = args.number
+    if number == 1:
+        print(experiments.table1_text(width=args.width))
+        return 0
+    if 2 <= number <= 7:
+        table = experiments.TABLE_BUILDERS[number](args.length)
+        print(table.render())
+        print()
+        print(experiments.compare_with_paper(number, table))
+        return 0
+    if number in (8, 9):
+        runs = experiments.simulate_codecs(length=args.length or 1500)
+        if number == 8:
+            print(experiments.render_table8(experiments.table8(runs)))
+        else:
+            print(experiments.render_table9(experiments.table9(runs)))
+        return 0
+    print(f"no such table: {number} (paper tables are 1-9)", file=sys.stderr)
+    return 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    names = args.codecs or ["gray", "bus-invert", "t0", "t0bi", "dualt0", "dualt0bi"]
+    codecs = []
+    for name in names:
+        if name in ("binary", "bus-invert", "offset"):
+            codecs.append(make_codec(name, trace.width))
+        elif name == "beach":
+            codecs.append(
+                make_codec(name, trace.width, training=list(trace.addresses[:2000]))
+            )
+        else:
+            codecs.append(make_codec(name, trace.width, stride=trace.stride))
+    row = compare_codecs(
+        codecs, trace.addresses, trace.effective_sels(), stride=trace.stride
+    )
+    print(f"stream: {trace.name}  ({len(trace)} cycles)")
+    print(f"statistics: {trace.statistics()}")
+    body = [
+        [r.name, str(r.transitions), f"{r.savings:.2%}"] for r in row.results
+    ]
+    body.insert(0, ["binary", str(row.binary_transitions), "0.00%"])
+    print(render_table(["code", "transitions", "savings"], body))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = get_profile(args.benchmark)
+    makers = {
+        "instruction": instruction_trace,
+        "data": data_trace,
+        "multiplexed": multiplexed_trace,
+    }
+    trace = makers[args.kind](profile, args.length)
+    trace.save(args.output)
+    print(f"wrote {len(trace)} cycles to {args.output}")
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    instruction, data, multiplexed = trace_kernel(args.name)
+    for trace in (instruction, data, multiplexed):
+        print(f"{trace.name}: {len(trace)} cycles, {trace.statistics()}")
+    if args.output:
+        multiplexed.save(args.output)
+        print(f"wrote multiplexed trace to {args.output}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    if args.which == "stride":
+        points = experiments.stride_sweep()
+        print(
+            experiments.render_sweep(
+                points, "stride", "Ablation A — stride sensitivity"
+            )
+        )
+    else:
+        points = experiments.sequentiality_sweep()
+        print(
+            experiments.render_sweep(
+                points, "in-seq", "Ablation B — sequentiality sweep"
+            )
+        )
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.experiments import simulate_codecs
+    from repro.rtl.power import estimate_from_simulation
+
+    runs = simulate_codecs(
+        benchmark=args.benchmark, length=args.length, codes=tuple(args.codecs)
+    )
+    load = args.load_pf * 1e-12
+    body = []
+    for name, run in runs.items():
+        encoder = estimate_from_simulation(run.encoder_result, output_load=load)
+        decoder = estimate_from_simulation(run.decoder_result, output_load=load)
+        body.append(
+            [
+                name,
+                f"{encoder.total * 1e3:.3f}",
+                f"{decoder.total * 1e3:.3f}",
+                f"{run.encoded_transitions_per_cycle:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["codec", "encoder (mW)", "decoder (mW)", "bus activity (t/cycle)"],
+            body,
+            title=(
+                f"Codec power at {args.load_pf} pF per line "
+                f"({args.benchmark} multiplexed stream, 100 MHz, 3.3 V)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
+
+    body = []
+    for name in sorted(ENCODER_BUILDERS):
+        encoder = ENCODER_BUILDERS[name](args.width)
+        decoder = DECODER_BUILDERS[name](args.width)
+        body.append(
+            [
+                name,
+                f"{encoder.netlist.critical_path_ns():.2f}",
+                str(encoder.netlist.gate_count),
+                f"{encoder.netlist.area_nand2():.0f}",
+                f"{decoder.netlist.critical_path_ns():.2f}",
+                str(decoder.netlist.gate_count),
+            ]
+        )
+    print(
+        render_table(
+            ["codec", "enc path (ns)", "enc gates", "enc NAND2-eq",
+             "dec path (ns)", "dec gates"],
+            body,
+            title=f"Codec circuit timing/area, {args.width}-bit bus "
+            "(paper: dual T0_BI encoder 5.36 ns in 0.35 um)",
+        )
+    )
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.reliability import run_fault_campaign
+
+    trace = _load_trace(args)
+    body = []
+    for name in args.codecs:
+        codec = make_codec(name, trace.width)
+        campaign = run_fault_campaign(
+            codec,
+            trace.addresses,
+            trace.effective_sels(),
+            injections=args.injections,
+            seed=args.seed,
+        )
+        body.append(
+            [
+                name,
+                f"{campaign.mean_corrupted_cycles:.2f}",
+                str(campaign.max_corrupted_cycles),
+                f"{campaign.detected_fraction:.0%}",
+                f"{campaign.masked_fraction:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["code", "mean corrupted cycles", "max", "detected", "masked"],
+            body,
+            title=f"Fault injection: {args.injections} single-wire flips "
+            f"on {trace.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import explore_design_space, pareto_front, recommend
+
+    trace = _load_trace(args)
+    load = args.load_pf * 1e-12
+    points = explore_design_space(trace, [load])
+    body = [
+        [
+            p.codec_name,
+            f"{p.global_power_w * 1e3:.1f}",
+            f"{p.codec_power_w * 1e3:.2f}",
+            str(p.area_gates),
+            f"{p.critical_path_ns:.2f}",
+        ]
+        for p in sorted(points, key=lambda p: p.global_power_w)
+    ]
+    print(
+        render_table(
+            ["code", "global (mW)", "codec (mW)", "gates", "path (ns)"],
+            body,
+            title=f"Design space at {args.load_pf} pF per line ({trace.name})",
+        )
+    )
+    front = pareto_front(points)
+    print(
+        "\npareto front (power vs area): "
+        + ", ".join(p.codec_name for p in front)
+    )
+    best, margin = recommend(trace, load)
+    print(
+        f"recommendation: {best.codec_name} "
+        f"({margin * 1e3:.1f} mW ahead of the runner-up)"
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments import export_all
+
+    export_all(
+        args.output,
+        stream_length=args.length,
+        include_power=not args.no_power,
+        include_sweeps=not args.no_sweeps,
+    )
+    print(f"wrote results to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bus",
+        description=(
+            "Low-power address bus encoding (DATE 1998 reproduction): "
+            "T0, bus-invert, T0_BI, dual T0, dual T0_BI and friends."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-codecs", help="list registered bus codes").set_defaults(
+        func=_cmd_list_codecs
+    )
+
+    p_table = sub.add_parser("table", help="regenerate a paper table (1-9)")
+    p_table.add_argument("number", type=int)
+    p_table.add_argument("--length", type=int, default=0, help="stream length override")
+    p_table.add_argument("--width", type=int, default=32)
+    p_table.set_defaults(func=_cmd_table)
+
+    p_analyze = sub.add_parser("analyze", help="compare codes on a stream")
+    p_analyze.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
+    p_analyze.add_argument(
+        "--kind",
+        choices=("instruction", "data", "multiplexed"),
+        default="multiplexed",
+    )
+    p_analyze.add_argument("--length", type=int, default=0)
+    p_analyze.add_argument("--trace-file", help="analyze a saved trace instead")
+    p_analyze.add_argument("--codecs", nargs="*", help="codec names to compare")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_generate = sub.add_parser("generate", help="write a synthetic trace")
+    p_generate.add_argument("output")
+    p_generate.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
+    p_generate.add_argument(
+        "--kind",
+        choices=("instruction", "data", "multiplexed"),
+        default="multiplexed",
+    )
+    p_generate.add_argument("--length", type=int, default=0)
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_kernel = sub.add_parser("kernel", help="run a CPU kernel")
+    p_kernel.add_argument("name", choices=kernel_names())
+    p_kernel.add_argument("--output", help="save the multiplexed trace here")
+    p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_sweep = sub.add_parser("sweep", help="run an ablation sweep")
+    p_sweep.add_argument("which", choices=("stride", "seq"))
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_power = sub.add_parser("power", help="gate-level codec power")
+    p_power.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
+    p_power.add_argument("--length", type=int, default=1000)
+    p_power.add_argument("--load-pf", type=float, default=0.4)
+    p_power.add_argument(
+        "--codecs",
+        nargs="*",
+        default=["binary", "t0", "dualt0bi"],
+        choices=["binary", "t0", "bus-invert", "dualt0", "dualt0bi"],
+    )
+    p_power.set_defaults(func=_cmd_power)
+
+    p_timing = sub.add_parser("timing", help="codec circuit critical paths")
+    p_timing.add_argument("--width", type=int, default=32)
+    p_timing.set_defaults(func=_cmd_timing)
+
+    p_faults = sub.add_parser("faults", help="fault-injection campaign")
+    p_faults.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
+    p_faults.add_argument(
+        "--kind",
+        choices=("instruction", "data", "multiplexed"),
+        default="multiplexed",
+    )
+    p_faults.add_argument("--length", type=int, default=800)
+    p_faults.add_argument("--trace-file", help="use a saved trace instead")
+    p_faults.add_argument("--injections", type=int, default=100)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument(
+        "--codecs",
+        nargs="*",
+        default=["binary", "bus-invert", "t0", "dualt0bi", "offset", "wze"],
+    )
+    p_faults.set_defaults(func=_cmd_faults)
+
+    p_explore = sub.add_parser("explore", help="design-space exploration")
+    p_explore.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
+    p_explore.add_argument(
+        "--kind",
+        choices=("instruction", "data", "multiplexed"),
+        default="multiplexed",
+    )
+    p_explore.add_argument("--length", type=int, default=600)
+    p_explore.add_argument("--trace-file", help="use a saved trace instead")
+    p_explore.add_argument("--load-pf", type=float, default=50.0)
+    p_explore.set_defaults(func=_cmd_explore)
+
+    p_export = sub.add_parser("export", help="write all results as JSON")
+    p_export.add_argument("output")
+    p_export.add_argument("--length", type=int, default=0)
+    p_export.add_argument("--no-power", action="store_true")
+    p_export.add_argument("--no-sweeps", action="store_true")
+    p_export.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

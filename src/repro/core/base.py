@@ -1,0 +1,183 @@
+"""Encoder/decoder base classes and stream helpers.
+
+The paper's codes are *stateful*: both ends of the bus keep small registers
+(the previous address, the previous encoded word) and must stay in lock-step.
+:class:`BusEncoder` and :class:`BusDecoder` capture that contract:
+
+* ``reset()`` returns the codec to its power-up state;
+* ``encode(address, sel)`` / ``decode(word, sel)`` advance one clock cycle.
+
+``sel`` is the instruction/data select signal of a multiplexed address bus
+(``1`` = instruction slot, ``0`` = data slot).  It is *already present* on a
+multiplexed bus regardless of the encoding, so it is not counted as a
+redundant line; codes that ignore it (binary, Gray, bus-invert, plain T0)
+simply do not read it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.word import EncodedWord, mask
+
+#: Select-line value marking an instruction slot on a multiplexed bus.
+SEL_INSTRUCTION = 1
+#: Select-line value marking a data slot on a multiplexed bus.
+SEL_DATA = 0
+
+
+class BusEncoder(abc.ABC):
+    """Transforms an address stream into an encoded bus-word stream.
+
+    Parameters
+    ----------
+    width:
+        Number of address lines ``N``.
+    """
+
+    #: Names of the code's redundant lines, in ``EncodedWord.extras`` order.
+    extra_lines: Tuple[str, ...] = ()
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"bus width must be positive, got {width}")
+        self.width = width
+        self._mask = mask(width)
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return the encoder to its power-up state."""
+
+    @abc.abstractmethod
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        """Encode one address; advances the encoder by one clock cycle."""
+
+    def encode_stream(
+        self, addresses: Iterable[int], sels: Optional[Iterable[int]] = None
+    ) -> List[EncodedWord]:
+        """Encode a whole stream (resets first)."""
+        self.reset()
+        if sels is None:
+            return [self.encode(address) for address in addresses]
+        return [
+            self.encode(address, sel) for address, sel in zip(addresses, sels)
+        ]
+
+    def _check_address(self, address: int) -> int:
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        if address > self._mask:
+            raise ValueError(
+                f"address {address:#x} does not fit on a {self.width}-bit bus"
+            )
+        return address
+
+
+class BusDecoder(abc.ABC):
+    """Recovers the address stream from the encoded bus-word stream."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"bus width must be positive, got {width}")
+        self.width = width
+        self._mask = mask(width)
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return the decoder to its power-up state."""
+
+    @abc.abstractmethod
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        """Decode one bus word; advances the decoder by one clock cycle."""
+
+    def decode_stream(
+        self, words: Iterable[EncodedWord], sels: Optional[Iterable[int]] = None
+    ) -> List[int]:
+        """Decode a whole stream (resets first)."""
+        self.reset()
+        if sels is None:
+            return [self.decode(word) for word in words]
+        return [self.decode(word, sel) for word, sel in zip(words, sels)]
+
+
+@dataclass
+class Codec:
+    """A named encoder/decoder pair factory.
+
+    ``make_encoder()`` / ``make_decoder()`` build fresh, reset instances so a
+    single :class:`Codec` can serve many streams concurrently.
+    """
+
+    name: str
+    width: int
+    encoder_factory: Callable[[], BusEncoder]
+    decoder_factory: Callable[[], BusDecoder]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def make_encoder(self) -> BusEncoder:
+        return self.encoder_factory()
+
+    def make_decoder(self) -> BusDecoder:
+        return self.decoder_factory()
+
+    @property
+    def extra_lines(self) -> Tuple[str, ...]:
+        """Redundant line names added by this code (empty for irredundant codes)."""
+        return self.make_encoder().extra_lines
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extras = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"Codec({self.name!r}, width={self.width}{', ' + extras if extras else ''})"
+
+
+def encode_stream(
+    codec: Codec,
+    addresses: Sequence[int],
+    sels: Optional[Sequence[int]] = None,
+) -> List[EncodedWord]:
+    """Encode ``addresses`` with a fresh encoder from ``codec``."""
+    return codec.make_encoder().encode_stream(addresses, sels)
+
+
+def decode_stream(
+    codec: Codec,
+    words: Sequence[EncodedWord],
+    sels: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Decode ``words`` with a fresh decoder from ``codec``."""
+    return codec.make_decoder().decode_stream(words, sels)
+
+
+def roundtrip_stream(
+    codec: Codec,
+    addresses: Sequence[int],
+    sels: Optional[Sequence[int]] = None,
+) -> List[EncodedWord]:
+    """Encode ``addresses`` and verify the decoder recovers them exactly.
+
+    Returns the encoded words; raises :class:`RoundTripError` on the first
+    mismatch.  This is the correctness gate every code must pass — a bus code
+    that loses addresses saves power by breaking the machine.
+    """
+    words = encode_stream(codec, addresses, sels)
+    decoded = decode_stream(codec, words, sels)
+    for index, (expected, actual) in enumerate(zip(addresses, decoded)):
+        if expected != actual:
+            raise RoundTripError(codec.name, index, expected, actual)
+    return words
+
+
+class RoundTripError(AssertionError):
+    """Raised when decode(encode(stream)) does not reproduce the stream."""
+
+    def __init__(self, codec_name: str, index: int, expected: int, actual: int):
+        super().__init__(
+            f"codec {codec_name!r} corrupted address #{index}: "
+            f"expected {expected:#x}, decoded {actual:#x}"
+        )
+        self.codec_name = codec_name
+        self.index = index
+        self.expected = expected
+        self.actual = actual

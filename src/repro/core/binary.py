@@ -1,0 +1,33 @@
+"""Plain binary (identity) encoding — the paper's reference baseline.
+
+All savings figures in Tables 2–7 are expressed relative to this code.  It is
+irredundant (no extra lines) and needs no encoding/decoding circuitry beyond
+bus buffers.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.word import EncodedWord
+
+
+class BinaryEncoder(BusEncoder):
+    """Transmits each address unmodified."""
+
+    extra_lines = ()
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        return EncodedWord(self._check_address(address))
+
+
+class BinaryDecoder(BusDecoder):
+    """Reads the address straight off the bus."""
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        return word.bus & self._mask

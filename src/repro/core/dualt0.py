@@ -1,0 +1,74 @@
+"""Dual T0 encoding — the paper's second mixed code (Section 3.2).
+
+For *multiplexed* address buses that time-share instruction (``SEL=1``) and
+data (``SEL=0``) streams.  The code applies T0 only to the instruction slots,
+against a reference register that is updated **only when SEL is asserted** —
+so the "previous address" seen by the sequentiality test is the previous
+*instruction* address even when data slots are interleaved (paper Equation 9,
+the held register ``~b``).  Data slots travel in plain binary with ``INC``
+low and leave the reference register untouched.
+
+Paper Equations 8/9 (encoder) and 10 (decoder).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.t0 import check_stride
+from repro.core.word import EncodedWord
+
+
+class DualT0Encoder(BusEncoder):
+    """Dual T0 encoder (paper Equation 8)."""
+
+    extra_lines = ("INC",)
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        # Reference register: last address observed in an instruction slot.
+        self._ref_address: int | None = None
+        self._prev_bus = 0
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        in_sequence = (
+            sel == SEL_INSTRUCTION
+            and self._ref_address is not None
+            and address == (self._ref_address + self.stride) & self._mask
+        )
+        if in_sequence:
+            bus, inc = self._prev_bus, 1
+        else:
+            bus, inc = address, 0
+        if sel == SEL_INSTRUCTION:
+            self._ref_address = address  # Equation 9: update only when SEL=1
+        self._prev_bus = bus
+        return EncodedWord(bus, (inc,))
+
+
+class DualT0Decoder(BusDecoder):
+    """Dual T0 decoder (paper Equation 10)."""
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        self._ref_address: int | None = None
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        (inc,) = word.extras
+        if inc:
+            if self._ref_address is None:
+                raise ValueError("INC asserted before any instruction slot")
+            address = (self._ref_address + self.stride) & self._mask
+        else:
+            address = word.bus & self._mask
+        if sel == SEL_INSTRUCTION:
+            self._ref_address = address
+        return address

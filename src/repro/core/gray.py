@@ -1,0 +1,79 @@
+"""Gray encoding (Su/Tsui/Despain) with the byte-addressable stride variant.
+
+The binary-reflected Gray code guarantees a *single* line transition between
+consecutive integers, which is optimal among irredundant codes for perfectly
+sequential streams (paper, Section 2.2).  On byte-addressable machines the
+address step between consecutive words is a stride ``S = 2**k`` rather than 1;
+Mehta/Owens/Irwin's fix (paper reference [5]) is reproduced here by Gray-coding
+the word part ``address >> k`` and passing the ``k`` byte-offset bits through
+unchanged, so an ``+S`` step still flips exactly one wire.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.word import EncodedWord
+
+
+def binary_to_gray(value: int) -> int:
+    """Binary-reflected Gray code of ``value``."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return value ^ (value >> 1)
+
+
+def gray_to_binary(code: int) -> int:
+    """Inverse of :func:`binary_to_gray`."""
+    if code < 0:
+        raise ValueError(f"code must be non-negative, got {code}")
+    value = code
+    shift = 1
+    while (value >> shift) != 0:
+        value ^= value >> shift
+        shift <<= 1
+    return value
+
+
+def _check_stride(stride: int) -> int:
+    if stride < 1 or (stride & (stride - 1)) != 0:
+        raise ValueError(f"stride must be a power of two, got {stride}")
+    return stride
+
+
+class GrayEncoder(BusEncoder):
+    """Gray-codes the word part of the address; byte-offset bits pass through."""
+
+    extra_lines = ()
+
+    def __init__(self, width: int, stride: int = 1):
+        super().__init__(width)
+        self.stride = _check_stride(stride)
+        self._offset_bits = self.stride.bit_length() - 1
+        self._offset_mask = self.stride - 1
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        word_part = address >> self._offset_bits
+        coded = binary_to_gray(word_part) << self._offset_bits
+        return EncodedWord((coded | (address & self._offset_mask)) & self._mask)
+
+
+class GrayDecoder(BusDecoder):
+    """Inverse of :class:`GrayEncoder`."""
+
+    def __init__(self, width: int, stride: int = 1):
+        super().__init__(width)
+        self.stride = _check_stride(stride)
+        self._offset_bits = self.stride.bit_length() - 1
+        self._offset_mask = self.stride - 1
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        coded = word.bus & self._mask
+        word_part = gray_to_binary(coded >> self._offset_bits)
+        return ((word_part << self._offset_bits) | (coded & self._offset_mask)) & self._mask

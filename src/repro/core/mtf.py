@@ -1,0 +1,134 @@
+"""Adaptive sector encoding with a self-organizing (move-to-front) list.
+
+A descendant of the paper's codes from the follow-up literature
+(Mamidipaka/Hirschberg/Dutt, *Adaptive Low-Power Address Encoding Techniques
+Using Self-Organizing Lists*): both ends of the bus maintain an *identical*
+move-to-front list of recently used address **sectors** (high-order parts).
+When an address hits a listed sector, only its short list index plus the
+low-order offset travel on the bus — the remaining lines freeze; a miss
+transmits the plain address and both sides insert the new sector at the
+front of their lists.
+
+One redundant wire ``HIT`` disambiguates the two word formats:
+
+* ``HIT=1``: bus = ``[index : index_bits][offset : offset_bits][frozen…]``
+* ``HIT=0``: bus = plain binary address (sector inserted at list front)
+
+The list update is deterministic, so encoder and decoder stay in lock-step
+with no side channel — the same discipline as the T0 family's registers.
+Sector traffic (code / stack / heap ping-pong) costs a couple of wires per
+access instead of a dozen.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.gray import binary_to_gray, gray_to_binary
+from repro.core.word import EncodedWord, mask
+
+
+class _SectorList:
+    """The shared move-to-front bookkeeping."""
+
+    def __init__(self, capacity: int):
+        if capacity < 2 or capacity & (capacity - 1):
+            raise ValueError(
+                f"sector list capacity must be a power of two >= 2, got {capacity}"
+            )
+        self.capacity = capacity
+        self.sectors: List[int] = []
+
+    def find(self, sector: int) -> int:
+        """List index of ``sector`` or -1."""
+        try:
+            return self.sectors.index(sector)
+        except ValueError:
+            return -1
+
+    def touch(self, index: int) -> None:
+        """Move the hit entry to the front."""
+        self.sectors.insert(0, self.sectors.pop(index))
+
+    def insert(self, sector: int) -> None:
+        """Insert a missed sector at the front, evicting the tail."""
+        self.sectors.insert(0, sector)
+        if len(self.sectors) > self.capacity:
+            self.sectors.pop()
+
+
+class MtfEncoder(BusEncoder):
+    """Self-organizing sector-list encoder."""
+
+    extra_lines = ("HIT",)
+
+    def __init__(self, width: int, offset_bits: int = 12, sectors: int = 8):
+        super().__init__(width)
+        self._index_bits = (sectors - 1).bit_length() if sectors > 1 else 1
+        if offset_bits + self._index_bits >= width:
+            raise ValueError(
+                f"offset_bits {offset_bits} + index bits {self._index_bits} "
+                f"must leave sector bits on a {width}-bit bus"
+            )
+        self.offset_bits = offset_bits
+        self.sectors = sectors
+        self._list = _SectorList(sectors)
+        self.reset()
+
+    def reset(self) -> None:
+        self._list = _SectorList(self.sectors)
+        self._prev_bus = 0
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        sector = address >> self.offset_bits
+        offset = address & mask(self.offset_bits)
+        index = self._list.find(sector)
+        if index >= 0:
+            # Hit: gray-coded index + raw offset on the low lines; freeze
+            # everything above them at the previous bus value.
+            payload_bits = self.offset_bits + self._index_bits
+            payload = (binary_to_gray(index) << self.offset_bits) | offset
+            bus = (self._prev_bus & ~mask(payload_bits)) | payload
+            hit = 1
+            self._list.touch(index)
+        else:
+            bus = address
+            hit = 0
+            self._list.insert(sector)
+        self._prev_bus = bus
+        return EncodedWord(bus & self._mask, (hit,))
+
+
+class MtfDecoder(BusDecoder):
+    """Mirror decoder for :class:`MtfEncoder`."""
+
+    def __init__(self, width: int, offset_bits: int = 12, sectors: int = 8):
+        super().__init__(width)
+        self._index_bits = (sectors - 1).bit_length() if sectors > 1 else 1
+        self.offset_bits = offset_bits
+        self.sectors = sectors
+        self.reset()
+
+    def reset(self) -> None:
+        self._list = _SectorList(self.sectors)
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        (hit,) = word.extras
+        if hit:
+            offset = word.bus & mask(self.offset_bits)
+            index = gray_to_binary(
+                (word.bus >> self.offset_bits) & mask(self._index_bits)
+            )
+            if index >= len(self._list.sectors):
+                raise ValueError(
+                    f"HIT with out-of-range sector index {index} "
+                    f"(list holds {len(self._list.sectors)})"
+                )
+            sector = self._list.sectors[index]
+            self._list.touch(index)
+            return ((sector << self.offset_bits) | offset) & self._mask
+        address = word.bus & self._mask
+        self._list.insert(address >> self.offset_bits)
+        return address

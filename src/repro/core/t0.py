@@ -1,0 +1,83 @@
+"""T0 encoding — asymptotic zero-transition code (paper Section 2.2).
+
+One redundant line ``INC`` tells the receiver that the new address is the
+previous address plus the stride ``S`` (a power of two reflecting the
+machine's addressability; 4 for a byte-addressed 32-bit-instruction MIPS).
+When ``INC`` is asserted the address lines are *frozen* at their previous
+value — zero transitions — and the receiver computes ``b(t-1) + S`` locally.
+Out-of-sequence addresses travel in plain binary with ``INC`` low.
+
+On an unlimited stream of consecutive addresses the bus never switches
+(``INC`` stays high), hence "asymptotic zero-transition": strictly better
+than Gray's one transition per address.
+
+Paper Equations 3 (encoder) and 4 (decoder).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.word import EncodedWord
+
+
+def check_stride(stride: int) -> int:
+    """Validate the T0-family stride: a positive power of two."""
+    if stride < 1 or (stride & (stride - 1)) != 0:
+        raise ValueError(f"stride must be a positive power of two, got {stride}")
+    return stride
+
+
+class T0Encoder(BusEncoder):
+    """T0 encoder (paper Equation 3)."""
+
+    extra_lines = ("INC",)
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        # Power-up: no previous address, bus lines at zero, INC low.  The
+        # first address can therefore never be flagged in-sequence.
+        self._prev_address: int | None = None
+        self._prev_bus = 0
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        in_sequence = (
+            self._prev_address is not None
+            and address == (self._prev_address + self.stride) & self._mask
+        )
+        if in_sequence:
+            bus = self._prev_bus  # frozen — zero transitions on address lines
+            inc = 1
+        else:
+            bus = address
+            inc = 0
+        self._prev_address = address
+        self._prev_bus = bus
+        return EncodedWord(bus, (inc,))
+
+
+class T0Decoder(BusDecoder):
+    """T0 decoder (paper Equation 4)."""
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev_address: int | None = None
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        (inc,) = word.extras
+        if inc:
+            if self._prev_address is None:
+                raise ValueError("INC asserted on the first bus cycle")
+            address = (self._prev_address + self.stride) & self._mask
+        else:
+            address = word.bus & self._mask
+        self._prev_address = address
+        return address

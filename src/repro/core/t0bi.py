@@ -1,0 +1,84 @@
+"""T0_BI encoding — the paper's first mixed code (Section 3.1).
+
+Combines T0 and bus-invert for architectures with a single (e.g. unified-L2)
+address bus.  Two redundant lines, ``INC`` and ``INV``:
+
+1. in-sequence address        → bus frozen, ``INC=1, INV=0``;
+2. otherwise, ``H <= (N+2)/2`` → plain binary, ``INC=0, INV=0``;
+3. otherwise                   → complemented binary, ``INC=0, INV=1``,
+
+where ``H`` is the Hamming distance between the previous encoded word
+(address lines + ``INC`` + ``INV``, i.e. ``N + 2`` wires) and the candidate
+``address | 0 | 0``.  Paper Equations 6 (encoder) and 7 (decoder).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.t0 import check_stride
+from repro.core.word import EncodedWord, hamming
+
+
+class T0BIEncoder(BusEncoder):
+    """T0_BI encoder (paper Equation 6)."""
+
+    extra_lines = ("INC", "INV")
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev_address: int | None = None
+        self._prev_bus = 0
+        self._prev_inc = 0
+        self._prev_inv = 0
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        in_sequence = (
+            self._prev_address is not None
+            and address == (self._prev_address + self.stride) & self._mask
+        )
+        if in_sequence:
+            bus, inc, inv = self._prev_bus, 1, 0
+        else:
+            # H over N + 2 wires, candidate INC/INV both 0 (Equation 6).
+            distance = (
+                hamming(self._prev_bus, address) + self._prev_inc + self._prev_inv
+            )
+            if 2 * distance > self.width + 2:  # H > (N + 2) / 2
+                bus, inc, inv = ~address & self._mask, 0, 1
+            else:
+                bus, inc, inv = address, 0, 0
+        self._prev_address = address
+        self._prev_bus = bus
+        self._prev_inc = inc
+        self._prev_inv = inv
+        return EncodedWord(bus, (inc, inv))
+
+
+class T0BIDecoder(BusDecoder):
+    """T0_BI decoder (paper Equation 7)."""
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev_address: int | None = None
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        inc, inv = word.extras
+        if inc:
+            if self._prev_address is None:
+                raise ValueError("INC asserted on the first bus cycle")
+            address = (self._prev_address + self.stride) & self._mask
+        elif inv:
+            address = ~word.bus & self._mask
+        else:
+            address = word.bus & self._mask
+        self._prev_address = address
+        return address

@@ -1,0 +1,82 @@
+"""Encoded bus words.
+
+Every encoder step produces an :class:`EncodedWord`: the value carried by the
+``N`` address lines plus the values of the code's redundant lines (``INC``,
+``INV``, ``INCV`` …).  Transition counting operates on the concatenation of
+both, because the redundant lines are physical bus wires that dissipate power
+exactly like the address lines (the paper counts them the same way: bus-invert
+shows ~0 % savings on instruction streams precisely because the INV wire's
+toggles are charged to the code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    return value.bit_count()
+
+
+def hamming(a: int, b: int) -> int:
+    """Hamming distance between two equal-width bit vectors stored as ints."""
+    return (a ^ b).bit_count()
+
+
+def mask(width: int) -> int:
+    """All-ones mask of the given bit width."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class EncodedWord:
+    """One clock cycle's worth of bus line values.
+
+    Attributes
+    ----------
+    bus:
+        Value of the ``N`` address lines, ``0 <= bus < 2**width``.
+    extras:
+        Values (each 0 or 1) of the code's redundant lines, in the order
+        declared by the encoder's :attr:`~repro.core.base.BusEncoder.extra_lines`.
+    """
+
+    bus: int
+    extras: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.bus < 0:
+            raise ValueError(f"bus value must be non-negative, got {self.bus}")
+        for line in self.extras:
+            if line not in (0, 1):
+                raise ValueError(f"redundant line values must be 0/1, got {line}")
+
+    @property
+    def extra_count(self) -> int:
+        """Number of redundant lines in this word."""
+        return len(self.extras)
+
+    def packed(self, width: int) -> int:
+        """All lines packed into one integer: extras above the ``width`` bus bits.
+
+        Packing order puts ``extras[0]`` at bit ``width``, ``extras[1]`` at
+        ``width + 1`` and so on, which makes Hamming distance between two
+        packed words equal to the total number of wires that toggle.
+        """
+        value = self.bus & mask(width)
+        for position, line in enumerate(self.extras):
+            value |= line << (width + position)
+        return value
+
+    def distance(self, other: "EncodedWord", width: int) -> int:
+        """Number of bus wires (address + redundant) that differ from ``other``."""
+        if len(self.extras) != len(other.extras):
+            raise ValueError(
+                "cannot compare words with different redundant-line counts: "
+                f"{len(self.extras)} vs {len(other.extras)}"
+            )
+        return hamming(self.packed(width), other.packed(width))

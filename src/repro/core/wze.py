@@ -1,0 +1,150 @@
+"""Working-zone encoding (Musoll/Lang/Cortadella), simplified.
+
+A contemporary of the paper's codes, included as an extra baseline for the
+hierarchy/extension studies.  The observation is that programs reference a
+few *working zones* (code, stack, one or two heap objects); an address that
+falls near a recently used zone can be transmitted as a tiny offset instead
+of a full word.
+
+Simplified scheme implemented here (documented deviations from the original:
+forward-only sliding windows, zone id implied by the toggled line's position
+instead of dedicated id lines):
+
+* ``zones`` zone registers, LRU-replaced, each owning ``N // zones``
+  consecutive bus lines ("slots");
+* **hit** (address within ``slots`` forward strides of a zone register):
+  assert the redundant ``WZ`` line and toggle exactly one bus line — the
+  owner zone's slot corresponding to the stride offset; the zone register
+  then slides to the new address.  Cost: at most 2 wire transitions.
+* **miss**: de-assert ``WZ``, transmit plain binary, load the LRU zone
+  register with the new address.
+
+The decoder keeps mirror registers, recovers the offset from the single
+toggled line and stays in lock-step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.t0 import check_stride
+from repro.core.word import EncodedWord
+
+
+class _ZoneState:
+    """Shared encoder/decoder bookkeeping for the working-zone registers."""
+
+    def __init__(self, width: int, zones: int, stride: int):
+        if zones < 1:
+            raise ValueError(f"zones must be >= 1, got {zones}")
+        if width // zones < 1:
+            raise ValueError(
+                f"bus width {width} cannot host {zones} zones of >= 1 slot"
+            )
+        self.width = width
+        self.zones = zones
+        self.stride = stride
+        self.slots = width // zones
+        self.reset()
+
+    def reset(self) -> None:
+        self.registers: List[Optional[int]] = [None] * self.zones
+        self.lru: List[int] = list(range(self.zones))  # front = LRU
+
+    def find_hit(self, address: int) -> Optional[tuple]:
+        """Return ``(zone, offset_index)`` if the address hits a zone window."""
+        for zone, base in enumerate(self.registers):
+            if base is None:
+                continue
+            delta = address - base
+            if delta < 0 or delta % self.stride != 0:
+                continue
+            offset_index = delta // self.stride
+            if offset_index < self.slots:
+                return zone, offset_index
+        return None
+
+    def touch(self, zone: int, address: int) -> None:
+        """Slide a zone register and mark it most recently used."""
+        self.registers[zone] = address
+        self.lru.remove(zone)
+        self.lru.append(zone)
+
+    def replace_lru(self, address: int) -> int:
+        """Load the least recently used zone with a missed address."""
+        zone = self.lru.pop(0)
+        self.registers[zone] = address
+        self.lru.append(zone)
+        return zone
+
+
+class WorkingZoneEncoder(BusEncoder):
+    """Simplified working-zone encoder (one redundant ``WZ`` line)."""
+
+    extra_lines = ("WZ",)
+
+    def __init__(self, width: int, zones: int = 4, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self._state = _ZoneState(width, zones, self.stride)
+        self.reset()
+
+    @property
+    def zones(self) -> int:
+        return self._state.zones
+
+    def reset(self) -> None:
+        self._state.reset()
+        self._prev_bus = 0
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        hit = self._state.find_hit(address)
+        if hit is not None:
+            zone, offset_index = hit
+            line = zone * self._state.slots + offset_index
+            bus = self._prev_bus ^ (1 << line)
+            self._state.touch(zone, address)
+            wz = 1
+        else:
+            bus = address
+            self._state.replace_lru(address)
+            wz = 0
+        self._prev_bus = bus
+        return EncodedWord(bus, (wz,))
+
+
+class WorkingZoneDecoder(BusDecoder):
+    """Mirror-register decoder for :class:`WorkingZoneEncoder`."""
+
+    def __init__(self, width: int, zones: int = 4, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self._state = _ZoneState(width, zones, self.stride)
+        self.reset()
+
+    def reset(self) -> None:
+        self._state.reset()
+        self._prev_bus = 0
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        (wz,) = word.extras
+        if wz:
+            diff = word.bus ^ self._prev_bus
+            if diff.bit_count() != 1:
+                raise ValueError(
+                    f"working-zone hit must toggle exactly one line, got {diff:#x}"
+                )
+            line = diff.bit_length() - 1
+            zone, offset_index = divmod(line, self._state.slots)
+            base = self._state.registers[zone]
+            if base is None:
+                raise ValueError(f"hit on uninitialised zone {zone}")
+            address = base + offset_index * self.stride
+            self._state.touch(zone, address)
+        else:
+            address = word.bus & self._mask
+            self._state.replace_lru(address)
+        self._prev_bus = word.bus
+        return address

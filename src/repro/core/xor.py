@@ -1,0 +1,116 @@
+"""Irredundant difference-based codes related to the paper's future work.
+
+The paper's conclusions point at exploring further codes for different parts
+of the memory hierarchy.  Two classic irredundant alternatives from the same
+research thread are provided for comparison:
+
+* **Offset code** — transmit the arithmetic difference
+  ``B(t) = (b(t) - b(t-1)) mod 2**N``.  A perfectly sequential stream has a
+  *constant* offset ``S``, so the bus freezes (zero transitions) without any
+  redundant wire; the price is that a single random address costs roughly a
+  random word's worth of toggles, twice (into and out of the offset domain).
+
+* **INC-XOR code** — transition-signalled XOR against the in-sequence
+  prediction: the logical word is ``L(t) = b(t) XOR (b(t-1) + S)`` and the
+  physical lines toggle where ``L`` has ones (``B(t) = L(t) XOR B(t-1)``).
+  In-sequence addresses give ``L = 0`` — zero toggles — matching T0's
+  asymptotic behaviour with no redundant line, while out-of-sequence
+  addresses cost ``H(b(t), b(t-1)+S)`` toggles.
+
+Both codes decode from local state only, like T0.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
+from repro.core.t0 import check_stride
+from repro.core.word import EncodedWord
+
+
+class OffsetEncoder(BusEncoder):
+    """Transmit the modular difference between consecutive addresses."""
+
+    extra_lines = ()
+
+    def __init__(self, width: int):
+        super().__init__(width)
+        self.reset()
+
+    def reset(self) -> None:
+        # Power-up convention: the first word is the address itself
+        # (difference against an implicit previous address of zero).
+        self._prev_address = 0
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        offset = (address - self._prev_address) & self._mask
+        self._prev_address = address
+        return EncodedWord(offset)
+
+
+class OffsetDecoder(BusDecoder):
+    """Accumulate offsets back into absolute addresses."""
+
+    def __init__(self, width: int):
+        super().__init__(width)
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev_address = 0
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        address = (self._prev_address + word.bus) & self._mask
+        self._prev_address = address
+        return address
+
+
+class IncXorEncoder(BusEncoder):
+    """Transition-signalled XOR against the ``b(t-1) + S`` prediction."""
+
+    extra_lines = ()
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev_address: int | None = None
+        self._prev_bus = 0
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        address = self._check_address(address)
+        if self._prev_address is None:
+            # First cycle: no prediction exists; send the address in binary.
+            logical = address ^ self._prev_bus
+        else:
+            prediction = (self._prev_address + self.stride) & self._mask
+            logical = address ^ prediction
+        bus = logical ^ self._prev_bus
+        self._prev_address = address
+        self._prev_bus = bus
+        return EncodedWord(bus)
+
+
+class IncXorDecoder(BusDecoder):
+    """Inverse of :class:`IncXorEncoder`."""
+
+    def __init__(self, width: int, stride: int = 4):
+        super().__init__(width)
+        self.stride = check_stride(stride)
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev_address: int | None = None
+        self._prev_bus = 0
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        logical = word.bus ^ self._prev_bus
+        if self._prev_address is None:
+            address = logical & self._mask
+        else:
+            prediction = (self._prev_address + self.stride) & self._mask
+            address = logical ^ prediction
+        self._prev_address = address
+        self._prev_bus = word.bus
+        return address & self._mask

@@ -1,0 +1,74 @@
+"""Experiment drivers: one function per paper table plus ablations.
+
+Shared by the pytest benchmark harness (``benchmarks/``), the command line
+(``repro-bus table N``) and the EXPERIMENTS.md regeneration script.
+"""
+
+from repro.experiments.ablations import (
+    SweepPoint,
+    hierarchy_study,
+    render_sweep,
+    sequentiality_sweep,
+    stride_sweep,
+)
+from repro.experiments.export import export_all, table_to_dict
+from repro.experiments.power_tables import (
+    OFF_CHIP_LOADS,
+    ON_CHIP_LOADS,
+    POWER_CODES,
+    CodecPowerRun,
+    Table8Row,
+    Table9Row,
+    render_table8,
+    render_table9,
+    simulate_codecs,
+    table8,
+    table9,
+)
+from repro.experiments.tables import (
+    EXISTING_CODES,
+    MIXED_CODES,
+    PAPER_AVERAGES,
+    TABLE_BUILDERS,
+    compare_with_paper,
+    table1_text,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "CodecPowerRun",
+    "EXISTING_CODES",
+    "MIXED_CODES",
+    "OFF_CHIP_LOADS",
+    "ON_CHIP_LOADS",
+    "PAPER_AVERAGES",
+    "POWER_CODES",
+    "SweepPoint",
+    "TABLE_BUILDERS",
+    "Table8Row",
+    "Table9Row",
+    "compare_with_paper",
+    "export_all",
+    "hierarchy_study",
+    "render_sweep",
+    "render_table8",
+    "render_table9",
+    "sequentiality_sweep",
+    "simulate_codecs",
+    "stride_sweep",
+    "table1_text",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table_to_dict",
+]

@@ -1,0 +1,137 @@
+"""Ablation and extension studies beyond the paper's tables.
+
+* :func:`stride_sweep` — Ablation A: sensitivity of the T0 family to the
+  stride parameter ``S`` (the paper fixes ``S`` to the machine's
+  addressability; we show what mis-configuring it costs).
+* :func:`sequentiality_sweep` — Ablation B: savings of every code as a
+  function of the stream's in-sequence fraction, locating the crossover
+  points between the T0 family and bus-invert.
+* :func:`hierarchy_study` — Extension C (the paper's stated future work):
+  how the codes rank on the address stream *behind* an L1 cache, where
+  refill bursts dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import make_codec
+from repro.memory.cache import Cache, CacheConfig, filter_trace
+from repro.metrics import compare_codecs, render_table
+from repro.tracegen import (
+    get_profile,
+    instruction_trace,
+    synthetic_instruction_stream,
+)
+from repro.tracegen.synthetic import InstructionProfile
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter point of a sweep: parameter value -> per-code savings."""
+
+    parameter: float
+    savings: Dict[str, float]
+
+
+def stride_sweep(
+    strides: Sequence[int] = (1, 2, 4, 8, 16),
+    benchmark: str = "gzip",
+    length: int = 20000,
+) -> List[SweepPoint]:
+    """T0-family savings vs configured stride on a stride-4 stream.
+
+    The stream steps by 4 bytes (word-addressed MIPS); only ``S = 4``
+    matches, so the sweep quantifies the cost of mis-configuration.
+    """
+    trace = instruction_trace(get_profile(benchmark), length)
+    points: List[SweepPoint] = []
+    for stride in strides:
+        codecs = [
+            make_codec("t0", 32, stride=stride),
+            make_codec("t0bi", 32, stride=stride),
+            make_codec("dualt0bi", 32, stride=stride),
+        ]
+        row = compare_codecs(
+            codecs, trace.addresses, trace.effective_sels(), stride=trace.stride
+        )
+        points.append(
+            SweepPoint(
+                parameter=float(stride),
+                savings={r.name: r.savings for r in row.results},
+            )
+        )
+    return points
+
+
+def sequentiality_sweep(
+    fractions: Sequence[float] = (0.05, 0.2, 0.4, 0.6, 0.8, 0.9),
+    length: int = 15000,
+    seed: int = 11,
+) -> List[SweepPoint]:
+    """Per-code savings as the stream's in-sequence fraction varies."""
+    names = ("gray", "bus-invert", "t0", "t0bi", "offset", "inc-xor")
+    points: List[SweepPoint] = []
+    for fraction in fractions:
+        profile = InstructionProfile.for_in_sequence(fraction)
+        trace = synthetic_instruction_stream(length, profile=profile, seed=seed)
+        codecs = [
+            make_codec(name, 32)
+            if name in ("bus-invert", "offset")
+            else make_codec(name, 32, stride=4)
+        for name in names]
+        row = compare_codecs(
+            codecs, trace.addresses, trace.effective_sels(), stride=4
+        )
+        points.append(
+            SweepPoint(
+                parameter=fraction,
+                savings={r.name: r.savings for r in row.results},
+            )
+        )
+    return points
+
+
+def hierarchy_study(
+    benchmark: str = "gzip",
+    length: int = 20000,
+    config: CacheConfig = CacheConfig(size_bytes=4096, line_bytes=16, ways=2),
+) -> Dict[str, Dict[str, float]]:
+    """Code savings in front of vs behind an L1 instruction cache.
+
+    Returns ``{"front": {...}, "behind": {...}}`` per-code savings maps.
+    Behind the cache the stream is refill bursts: short, perfectly
+    sequential runs separated by large line-to-line jumps.
+    """
+    names = ("gray", "bus-invert", "t0", "t0bi", "inc-xor")
+    front = instruction_trace(get_profile(benchmark), length)
+    behind = filter_trace(front, Cache(config))
+    result: Dict[str, Dict[str, float]] = {}
+    for label, trace in (("front", front), ("behind", behind)):
+        codecs = [
+            make_codec(name, 32)
+            if name == "bus-invert"
+            else make_codec(name, 32, stride=4)
+        for name in names]
+        row = compare_codecs(
+            codecs, trace.addresses, trace.effective_sels(), stride=4
+        )
+        result[label] = {r.name: r.savings for r in row.results}
+        result[label]["in_sequence"] = row.in_sequence
+    return result
+
+
+def render_sweep(
+    points: Sequence[SweepPoint], parameter_name: str, title: str
+) -> str:
+    """Plain-text rendering of a sweep."""
+    if not points:
+        raise ValueError("empty sweep")
+    names = list(points[0].savings)
+    headers = [parameter_name] + [f"{name} sav." for name in names]
+    body = [
+        [f"{point.parameter:g}"] + [f"{point.savings[n]:.2%}" for n in names]
+        for point in points
+    ]
+    return render_table(headers, body, title=title)

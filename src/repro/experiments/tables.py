@@ -1,0 +1,187 @@
+"""Regeneration of the paper's Tables 1–7.
+
+Each ``tableN`` function reproduces one table of the paper's evaluation:
+Table 1 analytically, Tables 2–4 (existing codes: T0, bus-invert) and
+Tables 5–7 (mixed codes: T0_BI, dual T0, dual T0_BI) on the nine calibrated
+benchmark streams.  The returned :class:`~repro.metrics.report.PaperTable`
+renders the same rows the paper prints; ``PAPER_AVERAGES`` records the
+published column averages for comparison in EXPERIMENTS.md and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import Codec, make_codec
+from repro.metrics import PaperTable, compare_codecs, render_table
+from repro.power.analytical import table1 as analytical_table1
+from repro.tracegen import BENCHMARKS, all_traces
+from repro.tracegen.trace import AddressTrace
+
+#: Column averages published in the paper, for table-by-table comparison.
+PAPER_AVERAGES: Dict[str, Dict[str, float]] = {
+    "table2": {"in_sequence": 0.6304, "t0": 0.3552, "bus-invert": 0.0003},
+    "table3": {"in_sequence": 0.1139, "t0": 0.0337, "bus-invert": 0.1078},
+    "table4": {"in_sequence": 0.5762, "t0": 0.1025, "bus-invert": 0.0979},
+    "table5": {
+        "in_sequence": 0.6305,
+        "t0bi": 0.3492,
+        "dualt0": 0.3552,
+        "dualt0bi": 0.3552,
+    },
+    "table6": {
+        "in_sequence": 0.1140,
+        "t0bi": 0.1282,
+        "dualt0": 0.0000,
+        "dualt0bi": 0.1066,
+    },
+    "table7": {
+        "in_sequence": 0.5762,
+        "t0bi": 0.1956,
+        "dualt0": 0.1215,
+        "dualt0bi": 0.2225,
+    },
+}
+
+EXISTING_CODES = ("t0", "bus-invert")
+MIXED_CODES = ("t0bi", "dualt0", "dualt0bi")
+
+
+def _codecs(names: Sequence[str], width: int = 32, stride: int = 4) -> List[Codec]:
+    built = []
+    for name in names:
+        if name in ("bus-invert",):
+            built.append(make_codec(name, width))
+        else:
+            built.append(make_codec(name, width, stride=stride))
+    return built
+
+
+def _stream_table(
+    title: str,
+    kind: str,
+    codec_names: Sequence[str],
+    length: int = 0,
+    traces: Optional[Sequence[AddressTrace]] = None,
+) -> PaperTable:
+    """Build one paper table over the nine benchmark streams."""
+    codecs = _codecs(codec_names)
+    table = PaperTable(title=title, codec_names=list(codec_names))
+    streams = traces if traces is not None else all_traces(kind, length)
+    for trace in streams:
+        table.add(
+            compare_codecs(
+                codecs,
+                trace.addresses,
+                trace.effective_sels(),
+                stride=trace.stride,
+                benchmark=trace.name.split(".")[0],
+            )
+        )
+    return table
+
+
+def table1_text(width: int = 32, stride: int = 1) -> str:
+    """Table 1: analytical comparison (binary / T0 / bus-invert)."""
+    rows = [
+        [
+            row.stream,
+            row.code,
+            f"{row.transitions_per_clock:.4f}",
+            f"{row.transitions_per_line:.4f}",
+            f"{row.relative_power:.4f}",
+        ]
+        for row in analytical_table1(width, stride)
+    ]
+    return render_table(
+        ["Stream", "Code", "Avg Trans/Clock", "Avg Trans/Line", "Rel. Power"],
+        rows,
+        title=f"Table 1 — analytical comparison (N = {width})",
+    )
+
+
+def table2(length: int = 0) -> PaperTable:
+    """Table 2: existing codes on instruction address streams."""
+    return _stream_table(
+        "Table 2 — existing codes, instruction address streams",
+        "instruction",
+        EXISTING_CODES,
+        length,
+    )
+
+
+def table3(length: int = 0) -> PaperTable:
+    """Table 3: existing codes on data address streams."""
+    return _stream_table(
+        "Table 3 — existing codes, data address streams",
+        "data",
+        EXISTING_CODES,
+        length,
+    )
+
+
+def table4(length: int = 0) -> PaperTable:
+    """Table 4: existing codes on multiplexed address streams."""
+    return _stream_table(
+        "Table 4 — existing codes, multiplexed address streams",
+        "multiplexed",
+        EXISTING_CODES,
+        length,
+    )
+
+
+def table5(length: int = 0) -> PaperTable:
+    """Table 5: mixed codes on instruction address streams."""
+    return _stream_table(
+        "Table 5 — mixed codes, instruction address streams",
+        "instruction",
+        MIXED_CODES,
+        length,
+    )
+
+
+def table6(length: int = 0) -> PaperTable:
+    """Table 6: mixed codes on data address streams."""
+    return _stream_table(
+        "Table 6 — mixed codes, data address streams",
+        "data",
+        MIXED_CODES,
+        length,
+    )
+
+
+def table7(length: int = 0) -> PaperTable:
+    """Table 7: mixed codes on multiplexed address streams."""
+    return _stream_table(
+        "Table 7 — mixed codes, multiplexed address streams",
+        "multiplexed",
+        MIXED_CODES,
+        length,
+    )
+
+
+TABLE_BUILDERS = {
+    2: table2,
+    3: table3,
+    4: table4,
+    5: table5,
+    6: table6,
+    7: table7,
+}
+
+
+def compare_with_paper(table_id: int, table: PaperTable) -> str:
+    """Render a measured-vs-paper average comparison block."""
+    key = f"table{table_id}"
+    paper = PAPER_AVERAGES.get(key, {})
+    lines = [f"Averages vs paper ({key}):"]
+    lines.append(
+        f"  in-sequence: measured {table.average_in_sequence():6.2%}"
+        + (f"  paper {paper['in_sequence']:6.2%}" if "in_sequence" in paper else "")
+    )
+    for name in table.codec_names:
+        measured = table.average_savings(name)
+        published = paper.get(name)
+        suffix = f"  paper {published:6.2%}" if published is not None else ""
+        lines.append(f"  {name:10s} savings: measured {measured:6.2%}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Memory-mapping baseline (Panda & Dutt, EDTC 1996 — paper reference [1]).
+
+Where the encoding techniques change *how* addresses travel on the bus, the
+memory-mapping approach changes *which* addresses programs generate: place
+data objects in physical memory so that temporally adjacent accesses touch
+addresses at small Hamming distance.  The two approaches compose — the
+mapping reduces the raw stream's activity, the codes reduce it further.
+"""
+
+from repro.mapping.panda_dutt import (
+    AccessGraph,
+    LayoutResult,
+    assign_addresses,
+    declaration_order_layout,
+    evaluate_layout,
+    optimize_layout,
+)
+
+__all__ = [
+    "AccessGraph",
+    "LayoutResult",
+    "assign_addresses",
+    "declaration_order_layout",
+    "evaluate_layout",
+    "optimize_layout",
+]

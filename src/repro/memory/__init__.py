@@ -1,0 +1,31 @@
+"""Memory-side models: unmodified main memory, the decoder-equipped memory
+controller (the paper's deployment model) and cache hierarchy filtering."""
+
+from repro.memory.cache import Cache, CacheConfig, CacheStatistics, filter_trace
+from repro.memory.controller import (
+    BusActivity,
+    MemoryController,
+    ProcessorBusInterface,
+    build_system,
+)
+from repro.memory.hierarchy import (
+    HierarchyConfig,
+    HierarchyResult,
+    unified_l2_trace,
+)
+from repro.memory.main import MainMemory
+
+__all__ = [
+    "BusActivity",
+    "Cache",
+    "CacheConfig",
+    "CacheStatistics",
+    "HierarchyConfig",
+    "HierarchyResult",
+    "MainMemory",
+    "MemoryController",
+    "ProcessorBusInterface",
+    "build_system",
+    "filter_trace",
+    "unified_l2_trace",
+]

@@ -1,0 +1,124 @@
+"""Set-associative cache models and address-stream filtering.
+
+The paper's future-work section asks which codes suit the different levels
+of a memory hierarchy.  A cache between the core and a bus transforms the
+address stream that bus sees: hits are absorbed, misses emit whole-line
+refill bursts (sequential word addresses).  :func:`filter_trace` performs
+exactly that transformation, producing the L2-side stream our hierarchy
+extension bench (and the paper's follow-up literature) studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tracegen.trace import AddressTrace, KIND_INSTRUCTION
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache."""
+
+    size_bytes: int = 8192
+    line_bytes: int = 16
+    ways: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "line_bytes", "ways"):
+            value = getattr(self, name)
+            if value <= 0 or (name != "ways" and value & (value - 1)):
+                raise ValueError(f"{name} must be a positive power of two, got {value}")
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValueError("size must divide evenly into ways * lines")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass
+class CacheStatistics:
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """LRU set-associative cache (tags only — data lives in main memory)."""
+
+    def __init__(self, config: CacheConfig = CacheConfig()):
+        self.config = config
+        self._sets: List[List[int]] = [[] for _ in range(config.sets)]
+        self.stats = CacheStatistics()
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.config.sets)]
+        self.stats = CacheStatistics()
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.sets, line
+
+    def access(self, address: int) -> bool:
+        """Touch an address; returns True on hit.  Misses allocate (LRU)."""
+        if address < 0:
+            raise ValueError(f"negative address {address:#x}")
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)  # most recently used at the back
+            self.stats.hits += 1
+            return True
+        ways.append(tag)
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without touching LRU state or statistics."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+
+def filter_trace(
+    trace: AddressTrace,
+    cache: Optional[Cache] = None,
+    refill_bursts: bool = True,
+) -> AddressTrace:
+    """The address stream a bus *behind* the cache sees.
+
+    Hits are absorbed.  Each miss emits the refill burst of its line:
+    ``line_bytes / stride`` sequential word addresses (set
+    ``refill_bursts=False`` to emit only the missing address — a
+    write-around / no-allocate bus).
+    """
+    cache = cache if cache is not None else Cache()
+    line_bytes = cache.config.line_bytes
+    stride = trace.stride
+    filtered: List[int] = []
+    for address in trace.addresses:
+        if cache.access(address):
+            continue
+        if refill_bursts:
+            base = (address // line_bytes) * line_bytes
+            filtered.extend(range(base, base + line_bytes, stride))
+        else:
+            filtered.append(address)
+    return AddressTrace(
+        name=f"{trace.name}.behind-cache",
+        addresses=tuple(filtered),
+        sels=None,
+        kind=trace.kind if trace.kind != "multiplexed" else KIND_INSTRUCTION,
+        width=trace.width,
+        stride=stride,
+    )

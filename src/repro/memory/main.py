@@ -1,0 +1,44 @@
+"""Sparse main-memory model.
+
+A word-granular backing store used by the memory controller and the cache
+hierarchy.  Word addresses must be 4-byte aligned; unwritten locations read
+as zero, like initialised DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class MainMemory:
+    """Word-addressable sparse memory."""
+
+    def __init__(self, image: Dict[int, int] | None = None):
+        self._words: Dict[int, int] = {}
+        if image:
+            for address, value in image.items():
+                self.store(address, value)
+
+    def load(self, address: int) -> int:
+        """Read the word at ``address`` (must be 4-byte aligned)."""
+        self._check(address)
+        return self._words.get(address & WORD_MASK, 0)
+
+    def store(self, address: int, value: int) -> None:
+        """Write the word at ``address`` (must be 4-byte aligned)."""
+        self._check(address)
+        self._words[address & WORD_MASK] = value & WORD_MASK
+
+    def _check(self, address: int) -> None:
+        if address < 0:
+            raise ValueError(f"negative address {address:#x}")
+        if address % 4 != 0:
+            raise ValueError(f"unaligned word access at {address:#010x}")
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._words.items()

@@ -1,0 +1,178 @@
+"""Codec comparison and paper-style table rendering.
+
+Tables 2–7 of the paper all share one shape: a row per benchmark with the
+stream length, the in-sequence percentage, the binary transition count, and
+for each candidate code its transition count plus percentage savings versus
+binary.  :func:`compare_codecs` computes one row; :class:`PaperTable`
+accumulates rows, adds the paper's ``Average`` line (savings averaged over
+benchmarks, like the paper's per-column averages) and renders plain text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import Codec, encode_stream
+from repro.metrics.stats import in_sequence_fraction
+from repro.metrics.transitions import TransitionReport, count_transitions
+
+
+@dataclass(frozen=True)
+class CodecResult:
+    """One code's outcome on one stream."""
+
+    name: str
+    transitions: int
+    savings: float  # fraction of binary transitions avoided (can be < 0)
+    report: TransitionReport
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark row of a paper-style table."""
+
+    benchmark: str
+    length: int
+    in_sequence: float
+    binary_transitions: int
+    results: Tuple[CodecResult, ...]
+
+    def result(self, name: str) -> CodecResult:
+        for entry in self.results:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no result for codec {name!r} in row {self.benchmark!r}")
+
+
+def compare_codecs(
+    codecs: Sequence[Codec],
+    addresses: Sequence[int],
+    sels: Optional[Sequence[int]] = None,
+    stride: int = 4,
+    benchmark: str = "",
+) -> ComparisonRow:
+    """Encode one stream under every codec and tabulate savings vs binary.
+
+    The binary reference is computed from the stream itself (not taken from
+    ``codecs``), so callers may pass only the candidate codes.
+    """
+    if not addresses:
+        raise ValueError("cannot compare codecs on an empty stream")
+    width = codecs[0].width if codecs else 32
+    for codec in codecs:
+        if codec.width != width:
+            raise ValueError("all codecs in a comparison must share a width")
+
+    binary_report = count_transitions(_binary_words(addresses), width=width)
+    results: List[CodecResult] = []
+    for codec in codecs:
+        words = encode_stream(codec, addresses, sels)
+        report = count_transitions(words, width=width)
+        savings = (
+            1.0 - report.total / binary_report.total
+            if binary_report.total
+            else 0.0
+        )
+        results.append(
+            CodecResult(
+                name=codec.name,
+                transitions=report.total,
+                savings=savings,
+                report=report,
+            )
+        )
+    return ComparisonRow(
+        benchmark=benchmark,
+        length=len(addresses),
+        in_sequence=in_sequence_fraction(addresses, stride),
+        binary_transitions=binary_report.total,
+        results=tuple(results),
+    )
+
+
+def _binary_words(addresses: Sequence[int]):
+    from repro.core.word import EncodedWord
+
+    return [EncodedWord(address) for address in addresses]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render a plain-text table with column alignment."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * width for width in widths)
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append(rule)
+    for row in rows:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class PaperTable:
+    """Accumulates :class:`ComparisonRow` entries and renders a paper table."""
+
+    title: str
+    codec_names: Sequence[str]
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def add(self, row: ComparisonRow) -> None:
+        self.rows.append(row)
+
+    def average_savings(self, codec_name: str) -> float:
+        """Unweighted mean of per-benchmark savings — the paper's Average row."""
+        if not self.rows:
+            return 0.0
+        return sum(row.result(codec_name).savings for row in self.rows) / len(
+            self.rows
+        )
+
+    def average_in_sequence(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.in_sequence for row in self.rows) / len(self.rows)
+
+    def render(self) -> str:
+        headers = ["Benchmark", "Length", "In-Seq", "Binary Trans."]
+        for name in self.codec_names:
+            headers.extend([f"{name} Trans.", f"{name} Sav."])
+        body: List[List[str]] = []
+        for row in self.rows:
+            cells = [
+                row.benchmark,
+                str(row.length),
+                f"{row.in_sequence:.2%}",
+                str(row.binary_transitions),
+            ]
+            for name in self.codec_names:
+                result = row.result(name)
+                cells.extend([str(result.transitions), f"{result.savings:.2%}"])
+            body.append(cells)
+        average = ["Average", "", f"{self.average_in_sequence():.2%}", ""]
+        for name in self.codec_names:
+            average.extend(["", f"{self.average_savings(name):.2%}"])
+        body.append(average)
+        return render_table(headers, body, title=self.title)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Machine-readable summary: per-codec average savings + in-seq."""
+        summary: Dict[str, Dict[str, float]] = {
+            "stream": {"in_sequence": self.average_in_sequence()}
+        }
+        for name in self.codec_names:
+            summary[name] = {"average_savings": self.average_savings(name)}
+        return summary

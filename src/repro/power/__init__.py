@@ -1,0 +1,65 @@
+"""Power models: Table 1 closed forms and the capacitive bus line model."""
+
+from repro.power.analytical import (
+    Table1Row,
+    binary_random_transitions,
+    binary_sequential_transitions,
+    bus_invert_random_transitions,
+    bus_invert_sequential_transitions,
+    gray_sequential_transitions,
+    t0_random_transitions,
+    t0_sequential_transitions,
+    table1,
+    table1_as_dict,
+)
+from repro.power.coupling import (
+    CouplingReport,
+    compare_under_coupling,
+    coupling_report,
+)
+from repro.power.predictor import (
+    StreamModel,
+    hamming_step_histogram,
+    predict_bus_invert_random,
+    predict_bus_invert_savings,
+    predict_gray_savings,
+    predict_t0_savings,
+)
+from repro.power.bus import (
+    DEFAULT_FREQUENCY_HZ,
+    DEFAULT_VDD,
+    OFF_CHIP_LINE_FARADS,
+    ON_CHIP_LINE_FARADS,
+    BusPowerModel,
+    bus_energy,
+    bus_power,
+)
+
+__all__ = [
+    "BusPowerModel",
+    "CouplingReport",
+    "StreamModel",
+    "compare_under_coupling",
+    "coupling_report",
+    "hamming_step_histogram",
+    "predict_bus_invert_random",
+    "predict_bus_invert_savings",
+    "predict_gray_savings",
+    "predict_t0_savings",
+    "DEFAULT_FREQUENCY_HZ",
+    "DEFAULT_VDD",
+    "OFF_CHIP_LINE_FARADS",
+    "ON_CHIP_LINE_FARADS",
+    "Table1Row",
+    "binary_random_transitions",
+    "binary_sequential_transitions",
+    "bus_energy",
+    "bus_invert_random_transitions",
+    "bus_invert_sequential_transitions",
+    "bus_power",
+    "gray_sequential_transitions",
+    "t0_random_transitions",
+    "t0_sequential_transitions",
+    "table1",
+    "table1_as_dict",
+]

@@ -1,0 +1,144 @@
+"""Analytical performance models — paper Section 2.3, Table 1.
+
+Closed-form average transitions per clock cycle for the binary, T0 and
+bus-invert codes on the two extreme streams the paper analyses:
+
+* an unlimited stream of independent, uniformly distributed addresses
+  ("out-of-sequence"), and
+* an unlimited stream of consecutive addresses ("in-sequence").
+
+The bus-invert average on random data is the paper's Equation 5,
+
+    lambda = 2^-N * sum_{k=0}^{N/2} k * C(N+1, k),
+
+which equals ``E[min(H, N+1-H)]`` for ``H ~ Binomial(N+1, 1/2)`` — the
+expected toggling-wire count when the encoder always picks the cheaper
+polarity over the ``N + 1`` wires (bus + INV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, List, Tuple
+
+
+def _check_width(width: int) -> int:
+    if width <= 0:
+        raise ValueError(f"bus width must be positive, got {width}")
+    return width
+
+
+def binary_random_transitions(width: int) -> float:
+    """Binary code, random stream: each of N lines flips with probability ½."""
+    return _check_width(width) / 2.0
+
+
+def binary_sequential_transitions(width: int, stride: int = 1) -> float:
+    """Binary code, consecutive stream: exact full-period counter average.
+
+    An ``m``-bit counter (the positions above the stride's alignment bits)
+    makes ``2**(m+1) - 2`` bit flips over its ``2**m`` increments, i.e.
+    ``2 - 2**(1-m)`` flips per emitted address — the familiar "asymptotically
+    two transitions per increment".
+    """
+    _check_width(width)
+    if stride < 1 or (stride & (stride - 1)) != 0:
+        raise ValueError(f"stride must be a positive power of two, got {stride}")
+    m = width - (stride.bit_length() - 1)
+    if m <= 0:
+        raise ValueError("stride leaves no counting bits on this bus width")
+    return 2.0 - 2.0 ** (1 - m)
+
+
+def gray_sequential_transitions() -> float:
+    """Gray code, consecutive stream: exactly one transition per address."""
+    return 1.0
+
+
+def t0_random_transitions(width: int) -> float:
+    """T0, random stream: INC stays low, bus behaves like binary (N/2).
+
+    (Consecutive pairs occur with probability ``2**-N`` in a uniform stream;
+    the paper's table neglects that term and so do we.)
+    """
+    return binary_random_transitions(width)
+
+
+def t0_sequential_transitions() -> float:
+    """T0, consecutive stream: bus frozen, INC constant — zero transitions."""
+    return 0.0
+
+
+def bus_invert_random_transitions(width: int) -> float:
+    """Bus-invert, random stream: the paper's Equation 5 (lambda)."""
+    _check_width(width)
+    n_plus_1 = width + 1
+    total = sum(k * comb(n_plus_1, k) for k in range(width // 2 + 1))
+    return total / (2.0**width)
+
+
+def bus_invert_sequential_transitions(width: int, stride: int = 1) -> float:
+    """Bus-invert, consecutive stream: increments flip ~2 wires << N/2, so
+    the INV line never asserts and the code degenerates to binary."""
+    return binary_sequential_transitions(width, stride)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    stream: str  # "random" or "sequential"
+    code: str
+    transitions_per_clock: float
+    transitions_per_line: float
+    relative_power: float  # average I/O power relative to binary on same stream
+
+
+def _line_count(code: str, width: int) -> int:
+    # Redundant wires are physical lines and enter the per-line average.
+    return width + (1 if code in ("t0", "bus-invert") else 0)
+
+
+def table1(width: int = 32, stride: int = 1) -> List[Table1Row]:
+    """Regenerate Table 1 for a given bus width.
+
+    Relative power normalises each stream class to binary's transition count
+    on that class (binary = 1.0), matching the paper's last column.
+    """
+    random_rows: List[Tuple[str, float]] = [
+        ("binary", binary_random_transitions(width)),
+        ("t0", t0_random_transitions(width)),
+        ("bus-invert", bus_invert_random_transitions(width)),
+    ]
+    sequential_rows: List[Tuple[str, float]] = [
+        ("binary", binary_sequential_transitions(width, stride)),
+        ("t0", t0_sequential_transitions()),
+        ("bus-invert", bus_invert_sequential_transitions(width, stride)),
+    ]
+    rows: List[Table1Row] = []
+    for stream, entries in (("random", random_rows), ("sequential", sequential_rows)):
+        reference = entries[0][1]  # binary
+        for code, per_clock in entries:
+            rows.append(
+                Table1Row(
+                    stream=stream,
+                    code=code,
+                    transitions_per_clock=per_clock,
+                    transitions_per_line=per_clock / _line_count(code, width),
+                    relative_power=(per_clock / reference) if reference else 0.0,
+                )
+            )
+    return rows
+
+
+def table1_as_dict(width: int = 32, stride: int = 1) -> Dict[str, Dict[str, float]]:
+    """Table 1 keyed by ``f"{stream}/{code}"`` for programmatic checks."""
+    return {
+        f"{row.stream}/{row.code}": {
+            "per_clock": row.transitions_per_clock,
+            "per_line": row.transitions_per_line,
+            "relative_power": row.relative_power,
+        }
+        for row in table1(width, stride)
+    }

@@ -1,0 +1,73 @@
+"""Capacitive bus power model.
+
+The reason address-bus encoding matters at all (paper Section 1): the
+capacitance seen at I/O pins is up to three orders of magnitude larger than
+internal node capacitance, so every avoided wire transition saves
+``½ · C_line · Vdd²`` of energy.  This module turns transition counts into
+watts for a given electrical operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.transitions import TransitionReport
+
+#: Paper operating point: 0.35 µm SGS-Thomson library, 3.3 V, 100 MHz.
+DEFAULT_VDD = 3.3
+DEFAULT_FREQUENCY_HZ = 100e6
+
+#: Representative line loads (farads).  On-chip values span the paper's
+#: Table 8 sweep; the off-chip value sits in the Table 9 range where external
+#: PCB traces and receiver pins dominate.
+ON_CHIP_LINE_FARADS = 0.4e-12
+OFF_CHIP_LINE_FARADS = 50e-12
+
+
+@dataclass(frozen=True)
+class BusPowerModel:
+    """Electrical operating point of one bus."""
+
+    vdd: float = DEFAULT_VDD
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+    line_capacitance: float = ON_CHIP_LINE_FARADS
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        if self.frequency_hz <= 0:
+            raise ValueError(
+                f"frequency must be positive, got {self.frequency_hz}"
+            )
+        if self.line_capacitance < 0:
+            raise ValueError(
+                f"line capacitance must be non-negative, got {self.line_capacitance}"
+            )
+
+    @property
+    def energy_per_transition(self) -> float:
+        """Joules dissipated by one wire transition: ``½ C V²``."""
+        return 0.5 * self.line_capacitance * self.vdd**2
+
+    def power_from_activity(self, transitions_per_cycle: float) -> float:
+        """Average watts for a given bus-wide transitions-per-cycle figure."""
+        if transitions_per_cycle < 0:
+            raise ValueError("transitions per cycle cannot be negative")
+        return transitions_per_cycle * self.energy_per_transition * self.frequency_hz
+
+
+def bus_energy(
+    report: TransitionReport, model: Optional[BusPowerModel] = None
+) -> float:
+    """Total joules dissipated by the bus wires over a counted stream."""
+    model = model or BusPowerModel()
+    return report.total * model.energy_per_transition
+
+
+def bus_power(
+    report: TransitionReport, model: Optional[BusPowerModel] = None
+) -> float:
+    """Average watts over the counted stream at the model's clock rate."""
+    model = model or BusPowerModel()
+    return model.power_from_activity(report.per_cycle)

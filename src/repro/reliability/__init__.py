@@ -1,0 +1,36 @@
+"""Reliability analysis: what a bus bit error does to each code.
+
+The paper's codes buy power with *state*: encoder and decoder registers must
+stay in lock-step.  That changes the failure model — a single corrupted bus
+cycle misdecodes one address under the memoryless codes (binary, Gray,
+bus-invert) but can *desynchronise* the stateful family (T0 and friends),
+turning one glitch into a run of wrong addresses.  This package quantifies
+that trade, the concern the follow-up literature on bus error control
+(e.g. Bertozzi/Benini/De Micheli) formalised.
+"""
+
+from repro.reliability.parity import (
+    ParityDecoder,
+    ParityEncoder,
+    ParityError,
+    parity_protected,
+)
+from repro.reliability.faults import (
+    FaultCampaignResult,
+    SingleFaultResult,
+    error_propagation,
+    flip_line,
+    run_fault_campaign,
+)
+
+__all__ = [
+    "FaultCampaignResult",
+    "ParityDecoder",
+    "ParityEncoder",
+    "ParityError",
+    "parity_protected",
+    "SingleFaultResult",
+    "error_propagation",
+    "flip_line",
+    "run_fault_campaign",
+]

@@ -1,0 +1,82 @@
+"""Parity protection for encoded buses.
+
+The fault campaign (:mod:`repro.reliability.faults`) shows most codes fail
+*silently*: a glitched wire simply decodes to the wrong address.  The
+classic fix from the bus error-control literature is one more redundant
+wire carrying the parity of everything else — any single-wire fault then
+trips the check at the receiving end instead of corrupting an access.
+
+:func:`parity_protected` wraps any registered codec: the encoder appends an
+even-parity line over the encoded word (bus + redundant lines); the decoder
+verifies it *before* updating any codec state and raises
+:class:`ParityError` on mismatch, so a detected fault cannot desynchronise
+the stateful codes.
+
+Cost: one wire, whose transitions the usual metrics charge automatically —
+the benches show the overhead is a few percent of the code's savings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import BusDecoder, BusEncoder, Codec, SEL_INSTRUCTION
+from repro.core.word import EncodedWord
+
+
+class ParityError(ValueError):
+    """Raised by the protected decoder when the parity check fails."""
+
+    def __init__(self, cycle_hint: str = ""):
+        super().__init__(
+            "bus parity mismatch — single-wire fault detected"
+            + (f" ({cycle_hint})" if cycle_hint else "")
+        )
+
+
+class ParityEncoder(BusEncoder):
+    """Wraps an encoder, appending an even-parity redundant line."""
+
+    def __init__(self, inner: BusEncoder):
+        super().__init__(inner.width)
+        self.inner = inner
+        self.extra_lines = tuple(inner.extra_lines) + ("PAR",)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
+        word = self.inner.encode(address, sel)
+        parity = word.packed(self.width).bit_count() & 1
+        return EncodedWord(word.bus, word.extras + (parity,))
+
+
+class ParityDecoder(BusDecoder):
+    """Wraps a decoder, verifying parity before touching codec state."""
+
+    def __init__(self, inner: BusDecoder):
+        super().__init__(inner.width)
+        self.inner = inner
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
+        if not word.extras:
+            raise ValueError("parity-protected word is missing the PAR line")
+        payload = EncodedWord(word.bus, word.extras[:-1])
+        parity = word.extras[-1]
+        if (payload.packed(self.width).bit_count() & 1) != parity:
+            raise ParityError()
+        return self.inner.decode(payload, sel)
+
+
+def parity_protected(codec: Codec) -> Codec:
+    """A codec identical to ``codec`` plus the parity wire and check."""
+    return Codec(
+        name=f"{codec.name}+parity",
+        width=codec.width,
+        encoder_factory=lambda: ParityEncoder(codec.make_encoder()),
+        decoder_factory=lambda: ParityDecoder(codec.make_decoder()),
+        params=dict(codec.params, parity=True),
+    )

@@ -1,0 +1,331 @@
+"""Structural netlists with cycle-based logic simulation.
+
+A :class:`Netlist` is a feed-forward graph of library gates plus D
+flip-flops.  Construction is single-assignment: a gate's fanins must already
+exist when the gate is added, so insertion order is a valid topological order
+for the combinational logic; flip-flop outputs are state and may feed gates
+added before their D input is connected (two-phase construction via
+:meth:`Netlist.add_dff` / :meth:`Netlist.drive_dff`).
+
+Simulation is zero-delay cycle-based: each clock cycle the combinational
+gates settle once in topological order and every net's *final* value is
+compared with the previous cycle's to count toggles.  Glitches are not
+modelled — the same simplification Synopsys' probabilistic mode makes, and a
+conservative one for the codec circuits whose logic depth is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rtl.gates import ALL_GATES, DFF, GateSpec
+
+NetId = int
+
+
+@dataclass
+class _Gate:
+    spec: GateSpec
+    inputs: Tuple[NetId, ...]
+    output: NetId
+
+
+@dataclass
+class _Flop:
+    d: Optional[NetId]
+    q: NetId
+    init: int
+
+
+class Netlist:
+    """A gate-level circuit with primary I/O, combinational gates and DFFs."""
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self._net_names: List[str] = []
+        self._inputs: List[NetId] = []
+        self._outputs: List[Tuple[str, NetId]] = []
+        self._gates: List[_Gate] = []
+        self._flops: List[_Flop] = []
+        self._const_nets: Dict[int, NetId] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _new_net(self, name: str) -> NetId:
+        self._net_names.append(name)
+        return len(self._net_names) - 1
+
+    def add_input(self, name: str) -> NetId:
+        """Create a primary input net."""
+        net = self._new_net(name)
+        self._inputs.append(net)
+        return net
+
+    def add_inputs(self, prefix: str, count: int) -> List[NetId]:
+        """Create a bus of primary inputs, LSB first."""
+        return [self.add_input(f"{prefix}[{i}]") for i in range(count)]
+
+    def const(self, value: int) -> NetId:
+        """The shared constant-0 or constant-1 net."""
+        if value not in (0, 1):
+            raise ValueError(f"constant must be 0 or 1, got {value}")
+        if value not in self._const_nets:
+            self._const_nets[value] = self._new_net(f"const{value}")
+        return self._const_nets[value]
+
+    def add_gate(self, spec: GateSpec, *inputs: NetId, name: str = "") -> NetId:
+        """Add a combinational gate; returns its output net."""
+        if spec.name == "DFF":
+            raise ValueError("use add_dff()/drive_dff() for flip-flops")
+        if len(inputs) != spec.arity:
+            raise ValueError(
+                f"{spec.name} expects {spec.arity} inputs, got {len(inputs)}"
+            )
+        for net in inputs:
+            self._check_net(net)
+        output = self._new_net(name or f"{spec.name.lower()}_{len(self._gates)}")
+        self._gates.append(_Gate(spec, tuple(inputs), output))
+        return output
+
+    def add_dff(self, init: int = 0, name: str = "") -> Tuple[int, NetId]:
+        """Create a flip-flop; returns ``(flop_handle, q_net)``.
+
+        The D input is connected later with :meth:`drive_dff`, allowing
+        feedback through combinational logic built after the flop.
+        """
+        if init not in (0, 1):
+            raise ValueError(f"flop init must be 0 or 1, got {init}")
+        q = self._new_net(name or f"dff_{len(self._flops)}_q")
+        self._flops.append(_Flop(d=None, q=q, init=init))
+        return len(self._flops) - 1, q
+
+    def drive_dff(self, handle: int, d_net: NetId) -> None:
+        """Connect a flip-flop's D input."""
+        self._check_net(d_net)
+        flop = self._flops[handle]
+        if flop.d is not None:
+            raise ValueError(f"flop {handle} already driven")
+        flop.d = d_net
+
+    def mark_output(self, net: NetId, name: str) -> None:
+        """Declare a primary output."""
+        self._check_net(net)
+        self._outputs.append((name, net))
+
+    def _check_net(self, net: NetId) -> None:
+        if not 0 <= net < len(self._net_names):
+            raise ValueError(f"unknown net id {net}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def net_count(self) -> int:
+        return len(self._net_names)
+
+    @property
+    def gate_count(self) -> int:
+        return len(self._gates)
+
+    @property
+    def flop_count(self) -> int:
+        return len(self._flops)
+
+    @property
+    def inputs(self) -> List[NetId]:
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[Tuple[str, NetId]]:
+        return list(self._outputs)
+
+    def net_name(self, net: NetId) -> str:
+        return self._net_names[net]
+
+    def net_loads(self, output_load: float = 0.0) -> List[float]:
+        """Capacitance seen by each net: fanin gate pins + PO loads."""
+        internal, external = self.net_loads_split(output_load)
+        return [i + e for i, e in zip(internal, external)]
+
+    def net_loads_split(
+        self, output_load: float = 0.0, wire_cap: float = 0.0
+    ) -> Tuple[List[float], List[float]]:
+        """``(internal, external)`` capacitance per net.
+
+        Internal load = fanin gate pins + driver intrinsic + wire; external
+        load = the per-primary-output ``output_load``.  The split matters for
+        glitch accounting: internal nodes see every spurious transition while
+        large external loads integrate them away (see power.py).
+        """
+        internal = [0.0] * self.net_count
+        external = [0.0] * self.net_count
+        for gate in self._gates:
+            for net in gate.inputs:
+                internal[net] += gate.spec.input_cap
+            internal[gate.output] += gate.spec.intrinsic_cap + wire_cap
+        for flop in self._flops:
+            if flop.d is not None:
+                internal[flop.d] += DFF.input_cap
+            internal[flop.q] += DFF.intrinsic_cap + wire_cap
+        for _, net in self._outputs:
+            external[net] += output_load
+        return internal, external
+
+    def combinational_depths(self) -> List[int]:
+        """Logic depth of each net: 0 at PIs/flop outputs/constants, else
+        1 + max(input depths).  Drives the glitch-amplification model."""
+        depths = [0] * self.net_count
+        for gate in self._gates:
+            depths[gate.output] = 1 + max(
+                (depths[net] for net in gate.inputs), default=0
+            )
+        return depths
+
+    def arrival_times(self) -> List[float]:
+        """Static timing: worst-case signal arrival at every net (seconds).
+
+        Primary inputs arrive at t = 0, flip-flop outputs at clock-to-Q,
+        every gate adds its propagation delay.  Single-corner, load-
+        independent cell delays — the granularity of a synthesis report.
+        """
+        from repro.rtl.gates import DFF_CLK_TO_Q
+
+        arrivals = [0.0] * self.net_count
+        for flop in self._flops:
+            arrivals[flop.q] = DFF_CLK_TO_Q
+        for gate in self._gates:
+            arrivals[gate.output] = gate.spec.delay + max(
+                (arrivals[net] for net in gate.inputs), default=0.0
+            )
+        return arrivals
+
+    def area_nand2(self) -> float:
+        """Cell area in NAND2 equivalents (the synthesis-report unit).
+
+        Weights: INV/BUF 0.7, simple 2-input cells 1.0, XOR/XNOR 2.5,
+        MUX2 2.0, DFF 5.0 — typical standard-cell ratios.
+        """
+        weights = {
+            "INV": 0.7,
+            "BUF": 0.7,
+            "AND2": 1.0,
+            "OR2": 1.0,
+            "NAND2": 1.0,
+            "NOR2": 1.0,
+            "XOR2": 2.5,
+            "XNOR2": 2.5,
+            "MUX2": 2.0,
+        }
+        area = sum(weights[gate.spec.name] for gate in self._gates)
+        return area + 5.0 * self.flop_count
+
+    def critical_path_ns(self) -> float:
+        """Worst register-to-register / input-to-output path in nanoseconds.
+
+        The paper reports this figure for the dual T0_BI encoder (5.36 ns
+        through the bus-invert section and the output mux in 0.35 µm).
+        """
+        from repro.rtl.gates import DFF_SETUP
+
+        arrivals = self.arrival_times()
+        worst = 0.0
+        for _, net in self._outputs:
+            worst = max(worst, arrivals[net])
+        for flop in self._flops:
+            if flop.d is not None:
+                worst = max(worst, arrivals[flop.d] + DFF_SETUP)
+        return worst * 1e9
+
+    def validate(self) -> None:
+        """Check the netlist is complete (every flop driven)."""
+        for handle, flop in enumerate(self._flops):
+            if flop.d is None:
+                raise ValueError(f"flop {handle} ({self.net_name(flop.q)}) has no D input")
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self, vectors: Sequence[Sequence[int]]
+    ) -> "SimulationResult":
+        """Run cycle-based simulation.
+
+        ``vectors[t]`` holds the primary-input values of cycle ``t``, in
+        :attr:`inputs` order.  Returns per-cycle primary-output values plus
+        per-net toggle counts (including the settled values of cycle 0
+        against the reset state — flops at their init values, everything else
+        evaluated from the first vector).
+        """
+        self.validate()
+        values = [0] * self.net_count
+        for flop in self._flops:
+            values[flop.q] = flop.init
+        if 1 in self._const_nets:
+            values[self._const_nets[1]] = 1
+
+        toggles = [0] * self.net_count
+        output_trace: List[Tuple[int, ...]] = []
+        gate_output_toggles = [0] * len(self._gates)
+        flop_output_toggles = [0] * len(self._flops)
+        previous: Optional[List[int]] = None
+
+        for vector in vectors:
+            if len(vector) != len(self._inputs):
+                raise ValueError(
+                    f"vector has {len(vector)} values for {len(self._inputs)} inputs"
+                )
+            for net, value in zip(self._inputs, vector):
+                if value not in (0, 1):
+                    raise ValueError(f"input values must be 0/1, got {value}")
+                values[net] = value
+            for gate in self._gates:
+                values[gate.output] = gate.spec.evaluate(
+                    tuple(values[i] for i in gate.inputs)
+                )
+            if previous is not None:
+                for net in range(self.net_count):
+                    if values[net] != previous[net]:
+                        toggles[net] += 1
+                for index, gate in enumerate(self._gates):
+                    if values[gate.output] != previous[gate.output]:
+                        gate_output_toggles[index] += 1
+                for index, flop in enumerate(self._flops):
+                    if values[flop.q] != previous[flop.q]:
+                        flop_output_toggles[index] += 1
+            output_trace.append(tuple(values[net] for _, net in self._outputs))
+            previous = list(values)
+            # Clock edge: capture D into Q for the next cycle.
+            next_q = [values[flop.d] for flop in self._flops]  # type: ignore[index]
+            for flop, q_value in zip(self._flops, next_q):
+                values[flop.q] = q_value
+
+        return SimulationResult(
+            netlist=self,
+            cycles=len(vectors),
+            outputs=output_trace,
+            net_toggles=toggles,
+            gate_output_toggles=gate_output_toggles,
+            flop_output_toggles=flop_output_toggles,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Everything the power estimator needs from one simulation run."""
+
+    netlist: Netlist
+    cycles: int
+    outputs: List[Tuple[int, ...]]
+    net_toggles: List[int]
+    gate_output_toggles: List[int]
+    flop_output_toggles: List[int]
+
+    def output_words(self) -> List[Dict[str, int]]:
+        """Per-cycle primary outputs as name → value dictionaries."""
+        names = [name for name, _ in self.netlist.outputs]
+        return [dict(zip(names, row)) for row in self.outputs]

@@ -1,0 +1,64 @@
+"""I/O pad model for off-chip buses (paper Section 4.3).
+
+Pads are "usually the most power consuming part of the entire chip": each
+output pad drives the external trace/pin capacitance (tens of pF) plus its
+own driver stages.  The paper's figures: an 8 mA output pad presents 0.01 pF
+of input capacitance to the core logic; input-pad power at the receiver is
+negligible next to the driver side and is ignored, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.power.bus import DEFAULT_FREQUENCY_HZ, DEFAULT_VDD
+
+#: Input capacitance an output pad presents to the on-chip driver (paper value).
+PAD_INPUT_CAP = 0.01e-12
+#: Self-capacitance of the pad's output stage (bond pad + driver drain).
+PAD_SELF_CAP = 4e-12
+#: Internal (pre-driver chain) energy per pad output transition.
+PAD_INTERNAL_ENERGY = 2.0e-12
+
+
+@dataclass(frozen=True)
+class OutputPadBank:
+    """A bank of identical output pads driving the same external load."""
+
+    lines: int
+    external_load: float  # farads per line
+    vdd: float = DEFAULT_VDD
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.lines <= 0:
+            raise ValueError(f"pad bank needs >= 1 line, got {self.lines}")
+        if self.external_load < 0:
+            raise ValueError(
+                f"external load cannot be negative, got {self.external_load}"
+            )
+
+    @property
+    def energy_per_transition(self) -> float:
+        """Joules dissipated when one pad output toggles."""
+        capacitive = 0.5 * (self.external_load + PAD_SELF_CAP) * self.vdd**2
+        return capacitive + PAD_INTERNAL_ENERGY
+
+    def power(self, transitions_per_cycle: float) -> float:
+        """Average watts for a bank-wide transitions-per-cycle figure."""
+        if transitions_per_cycle < 0:
+            raise ValueError("transitions per cycle cannot be negative")
+        return (
+            transitions_per_cycle
+            * self.energy_per_transition
+            * self.frequency_hz
+        )
+
+    def power_from_activities(self, activities: Sequence[float]) -> float:
+        """Average watts given each line's transitions-per-cycle activity."""
+        if len(activities) != self.lines:
+            raise ValueError(
+                f"expected {self.lines} activities, got {len(activities)}"
+            )
+        return self.power(sum(activities))

@@ -1,0 +1,353 @@
+"""Two-pass assembler for the MIPS-like ISA.
+
+Accepts the familiar assembly surface syntax::
+
+    .data
+    buffer: .space 256
+    limit:  .word 42
+    .text
+    main:
+        addi $t0, $zero, 0
+    loop:
+        lw   $t1, buffer($t0)     # label($reg) addressing
+        addi $t0, $t0, 4
+        blt  $t0, $t2, loop
+        halt
+
+Supported directives: ``.text`` / ``.data`` (section switches), ``.word``
+(initialised words, comma separated), ``.space`` (zeroed bytes), ``.org``
+(explicit placement).  Labels resolve to byte addresses; branch targets
+assemble to PC-relative word offsets, jump targets to absolute word indices.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tracegen import layout
+from repro.tracegen.isa import (
+    OPCODES,
+    REGISTER_NUMBERS,
+    Instruction,
+    sign_extend_16,
+)
+
+
+class AssemblyError(ValueError):
+    """Raised on any syntax or semantic error, with the offending line."""
+
+    def __init__(self, line_number: int, line: str, message: str):
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+
+
+@dataclass
+class Program:
+    """An assembled program image."""
+
+    text: Dict[int, Instruction]  # byte address -> instruction
+    data: Dict[int, int]  # byte address -> initialised word value
+    symbols: Dict[str, int]  # label -> byte address
+    entry: int  # first executed address
+
+    @property
+    def text_words(self) -> Dict[int, int]:
+        """Encoded instruction memory image."""
+        return {address: instr.encode() for address, instr in self.text.items()}
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w*)\((\$\w+|\w+)\)$")
+
+
+def _strip(line: str) -> str:
+    comment = min(
+        (i for i in (line.find("#"), line.find(";")) if i >= 0), default=-1
+    )
+    return (line[:comment] if comment >= 0 else line).strip()
+
+
+def _parse_register(token: str, line_number: int, line: str) -> int:
+    token = token.strip()
+    if token in REGISTER_NUMBERS:
+        return REGISTER_NUMBERS[token]
+    if re.fullmatch(r"\$\d+", token):
+        number = int(token[1:])
+        if 0 <= number < 32:
+            return number
+    raise AssemblyError(line_number, line, f"unknown register {token!r}")
+
+
+def _parse_int(token: str) -> Optional[int]:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+class Assembler:
+    """Two-pass assembler; see module docstring for the surface syntax."""
+
+    def __init__(
+        self,
+        text_base: int = layout.TEXT_BASE,
+        data_base: int = layout.DATA_BASE,
+    ):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    def assemble(self, source: str, entry: str = "main") -> Program:
+        lines = source.splitlines()
+        symbols = self._first_pass(lines)
+        text, data = self._second_pass(lines, symbols)
+        if entry in symbols:
+            entry_address = symbols[entry]
+        elif text:
+            entry_address = min(text)
+        else:
+            raise AssemblyError(0, "", "program has no text section")
+        return Program(text=text, data=data, symbols=symbols, entry=entry_address)
+
+    # ------------------------------------------------------------------
+
+    def _first_pass(self, lines: List[str]) -> Dict[str, int]:
+        symbols: Dict[str, int] = {}
+        section = "text"
+        counters = {"text": self.text_base, "data": self.data_base}
+        for number, raw in enumerate(lines, start=1):
+            line = _strip(raw)
+            if not line:
+                continue
+            match = _LABEL_RE.match(line)
+            if match:
+                label = match.group(1)
+                if label in symbols:
+                    raise AssemblyError(number, raw, f"duplicate label {label!r}")
+                symbols[label] = counters[section]
+                line = line[match.end():].strip()
+                if not line:
+                    continue
+            if line.startswith("."):
+                parts = line.split(None, 1)
+                directive = parts[0]
+                argument = parts[1] if len(parts) > 1 else ""
+                if directive == ".text":
+                    section = "text"
+                elif directive == ".data":
+                    section = "data"
+                elif directive == ".word":
+                    count = len([t for t in argument.split(",") if t.strip()])
+                    if count == 0:
+                        raise AssemblyError(number, raw, ".word needs a value")
+                    counters[section] += 4 * count
+                elif directive == ".space":
+                    size = _parse_int(argument)
+                    if size is None or size < 0:
+                        raise AssemblyError(number, raw, ".space needs a byte count")
+                    counters[section] += (size + 3) & ~3
+                elif directive == ".org":
+                    target = _parse_int(argument)
+                    if target is None:
+                        raise AssemblyError(number, raw, ".org needs an address")
+                    counters[section] = target
+                else:
+                    raise AssemblyError(
+                        number, raw, f"unknown directive {directive!r}"
+                    )
+                continue
+            counters[section] += 4  # one instruction word
+        return symbols
+
+    # ------------------------------------------------------------------
+
+    def _second_pass(
+        self, lines: List[str], symbols: Dict[str, int]
+    ) -> Tuple[Dict[int, Instruction], Dict[int, int]]:
+        text: Dict[int, Instruction] = {}
+        data: Dict[int, int] = {}
+        section = "text"
+        counters = {"text": self.text_base, "data": self.data_base}
+        for number, raw in enumerate(lines, start=1):
+            line = _strip(raw)
+            if not line:
+                continue
+            match = _LABEL_RE.match(line)
+            if match:
+                line = line[match.end():].strip()
+                if not line:
+                    continue
+            if line.startswith("."):
+                parts = line.split(None, 1)
+                directive, argument = parts[0], parts[1] if len(parts) > 1 else ""
+                if directive == ".text":
+                    section = "text"
+                elif directive == ".data":
+                    section = "data"
+                elif directive == ".word":
+                    for token in argument.split(","):
+                        token = token.strip()
+                        value = _parse_int(token)
+                        if value is None:
+                            value = symbols.get(token)
+                        if value is None:
+                            raise AssemblyError(number, raw, f"bad .word value {token!r}")
+                        data[counters[section]] = value & 0xFFFFFFFF
+                        counters[section] += 4
+                elif directive == ".space":
+                    counters[section] += (_parse_int(argument) + 3) & ~3  # type: ignore[operator]
+                elif directive == ".org":
+                    counters[section] = _parse_int(argument)  # type: ignore[assignment]
+                continue
+            address = counters[section]
+            text[address] = self._parse_instruction(line, address, symbols, number, raw)
+            counters[section] += 4
+        return text, data
+
+    def _parse_instruction(
+        self,
+        line: str,
+        address: int,
+        symbols: Dict[str, int],
+        number: int,
+        raw: str,
+    ) -> Instruction:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        if mnemonic not in OPCODES:
+            raise AssemblyError(number, raw, f"unknown mnemonic {mnemonic!r}")
+        operands = [t.strip() for t in operand_text.split(",") if t.strip()]
+        fmt = OPCODES[mnemonic][0]
+
+        if mnemonic in ("halt", "nop"):
+            return Instruction(mnemonic)
+
+        if mnemonic == "jr":
+            if len(operands) != 1:
+                raise AssemblyError(number, raw, "jr takes one register")
+            return Instruction("jr", rs=_parse_register(operands[0], number, raw))
+
+        if fmt == "R":
+            if len(operands) != 3:
+                raise AssemblyError(number, raw, f"{mnemonic} takes 3 operands")
+            if mnemonic in ("sll", "srl"):
+                shamt = _parse_int(operands[2])
+                if shamt is None or not 0 <= shamt < 32:
+                    raise AssemblyError(number, raw, "shift amount must be 0..31")
+                return Instruction(
+                    mnemonic,
+                    rd=_parse_register(operands[0], number, raw),
+                    rs=_parse_register(operands[1], number, raw),
+                    rt=shamt,
+                )
+            return Instruction(
+                mnemonic,
+                rd=_parse_register(operands[0], number, raw),
+                rs=_parse_register(operands[1], number, raw),
+                rt=_parse_register(operands[2], number, raw),
+            )
+
+        if fmt == "I":
+            if len(operands) == 2 and mnemonic == "lui":
+                value = self._immediate(operands[1], symbols, number, raw)
+                return Instruction(
+                    "lui", rd=_parse_register(operands[0], number, raw), imm=value
+                )
+            if len(operands) != 3:
+                raise AssemblyError(number, raw, f"{mnemonic} takes 3 operands")
+            return Instruction(
+                mnemonic,
+                rd=_parse_register(operands[0], number, raw),
+                rs=_parse_register(operands[1], number, raw),
+                imm=self._immediate(operands[2], symbols, number, raw),
+            )
+
+        if fmt == "M":
+            if len(operands) != 2:
+                raise AssemblyError(number, raw, f"{mnemonic} takes 2 operands")
+            data_reg = _parse_register(operands[0], number, raw)
+            match = _MEM_OPERAND_RE.match(operands[1].replace(" ", ""))
+            if match:
+                offset_token, base_token = match.groups()
+                if base_token.startswith("$"):
+                    base = _parse_register(base_token, number, raw)
+                    offset = (
+                        self._immediate(offset_token, symbols, number, raw)
+                        if offset_token
+                        else 0
+                    )
+                else:
+                    # label($reg) is not supported; label(reg-less) means
+                    # absolute addressing below.
+                    raise AssemblyError(number, raw, "expected offset($reg)")
+                return Instruction(mnemonic, rd=data_reg, rs=base, imm=offset)
+            # Absolute label form: lw $t0, label — uses $zero as base.  The
+            # 16-bit immediate cannot hold a full data address, so this form
+            # is rejected to avoid silent truncation.
+            raise AssemblyError(
+                number, raw, "memory operands must use offset($reg) addressing"
+            )
+
+        if fmt == "B":
+            if len(operands) != 3:
+                raise AssemblyError(number, raw, f"{mnemonic} takes 3 operands")
+            target = symbols.get(operands[2])
+            if target is None:
+                immediate = _parse_int(operands[2])
+                if immediate is None:
+                    raise AssemblyError(
+                        number, raw, f"unknown branch target {operands[2]!r}"
+                    )
+                offset = immediate
+            else:
+                offset = (target - (address + 4)) // 4
+            if not -0x8000 <= offset <= 0x7FFF:
+                raise AssemblyError(number, raw, "branch target out of range")
+            return Instruction(
+                mnemonic,
+                rd=_parse_register(operands[0], number, raw),
+                rs=_parse_register(operands[1], number, raw),
+                imm=offset,
+            )
+
+        if fmt == "J":
+            if len(operands) != 1:
+                raise AssemblyError(number, raw, f"{mnemonic} takes 1 operand")
+            target = symbols.get(operands[0])
+            if target is None:
+                target = _parse_int(operands[0])
+            if target is None:
+                raise AssemblyError(number, raw, f"unknown jump target {operands[0]!r}")
+            return Instruction(mnemonic, imm=target // 4)
+
+        raise AssemblyError(number, raw, f"unhandled format {fmt!r}")
+
+    def _immediate(
+        self, token: str, symbols: Dict[str, int], number: int, raw: str
+    ) -> int:
+        token = token.strip()
+        relocation = re.fullmatch(r"%(hi|lo)\((\w+)\)", token)
+        if relocation:
+            kind, label = relocation.groups()
+            address = symbols.get(label)
+            if address is None:
+                raise AssemblyError(number, raw, f"unknown label {label!r}")
+            return (address >> 16) if kind == "hi" else (address & 0xFFFF)
+        value = _parse_int(token)
+        if value is None:
+            value = symbols.get(token)
+        if value is None:
+            raise AssemblyError(number, raw, f"bad immediate {token!r}")
+        if not -0x8000 <= value <= 0xFFFF:
+            raise AssemblyError(
+                number, raw, f"immediate {value} does not fit in 16 bits"
+            )
+        return sign_extend_16(value) if value >= 0x8000 else value
+
+
+def assemble(source: str, entry: str = "main") -> Program:
+    """Assemble with the default memory layout."""
+    return Assembler().assemble(source, entry=entry)

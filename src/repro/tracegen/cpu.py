@@ -1,0 +1,230 @@
+"""Functional simulator for the MIPS-like ISA.
+
+Executes an assembled :class:`~repro.tracegen.assembler.Program` and records
+the *bus traffic*: every instruction fetch address and every load/store
+address, in program order.  The recorded streams become
+:class:`~repro.tracegen.trace.AddressTrace` objects directly comparable with
+the statistical generators — the CPU is the "ground truth" source of address
+behaviour, the statistical models its calibrated, scalable stand-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import SEL_DATA, SEL_INSTRUCTION
+from repro.tracegen import layout
+from repro.tracegen.assembler import Program
+from repro.tracegen.isa import Instruction, sign_extend_16
+from repro.tracegen.trace import (
+    KIND_DATA,
+    KIND_INSTRUCTION,
+    KIND_MULTIPLEXED,
+    AddressTrace,
+)
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class CPUError(RuntimeError):
+    """Raised on invalid execution (bad fetch, unaligned access, …)."""
+
+
+@dataclass
+class BusEvent:
+    """One bus transaction: an address plus its SEL type."""
+
+    address: int
+    sel: int  # SEL_INSTRUCTION or SEL_DATA
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a run produces."""
+
+    steps: int
+    halted: bool
+    registers: List[int]
+    events: List[BusEvent] = field(repr=False, default_factory=list)
+
+    def instruction_trace(self, name: str = "cpu.instruction") -> AddressTrace:
+        return AddressTrace(
+            name=name,
+            addresses=tuple(
+                e.address for e in self.events if e.sel == SEL_INSTRUCTION
+            ),
+            kind=KIND_INSTRUCTION,
+        )
+
+    def data_trace(self, name: str = "cpu.data") -> AddressTrace:
+        return AddressTrace(
+            name=name,
+            addresses=tuple(e.address for e in self.events if e.sel == SEL_DATA),
+            kind=KIND_DATA,
+        )
+
+    def multiplexed_trace(self, name: str = "cpu.multiplexed") -> AddressTrace:
+        return AddressTrace(
+            name=name,
+            addresses=tuple(e.address for e in self.events),
+            sels=tuple(e.sel for e in self.events),
+            kind=KIND_MULTIPLEXED,
+        )
+
+
+class CPU:
+    """A single-cycle functional model of the MIPS-like core."""
+
+    def __init__(self, program: Program, stack_top: int = layout.STACK_TOP):
+        self.program = program
+        self.registers = [0] * 32
+        self.registers[29] = stack_top  # $sp
+        self.registers[31] = 0  # $ra — returning to 0 halts
+        self.pc = program.entry
+        self.memory: Dict[int, int] = dict(program.data)  # word-granular
+        self.halted = False
+        self.events: List[BusEvent] = []
+
+    # ------------------------------------------------------------------
+    # Memory helpers (word-granular backing store, byte access supported)
+    # ------------------------------------------------------------------
+
+    def load_word(self, address: int) -> int:
+        if address % 4 != 0:
+            raise CPUError(f"unaligned word load at {address:#010x}")
+        return self.memory.get(address & WORD_MASK, 0)
+
+    def store_word(self, address: int, value: int) -> None:
+        if address % 4 != 0:
+            raise CPUError(f"unaligned word store at {address:#010x}")
+        self.memory[address & WORD_MASK] = value & WORD_MASK
+
+    def load_byte(self, address: int) -> int:
+        word = self.memory.get(address & ~3 & WORD_MASK, 0)
+        return (word >> (8 * (address % 4))) & 0xFF
+
+    def store_byte(self, address: int, value: int) -> None:
+        base = address & ~3 & WORD_MASK
+        shift = 8 * (address % 4)
+        word = self.memory.get(base, 0)
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self.memory[base] = word
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000) -> ExecutionResult:
+        """Execute until ``halt``, a return to address 0, or ``max_steps``."""
+        steps = 0
+        while not self.halted and steps < max_steps:
+            self.step()
+            steps += 1
+        return ExecutionResult(
+            steps=steps,
+            halted=self.halted,
+            registers=list(self.registers),
+            events=self.events,
+        )
+
+    def step(self) -> None:
+        """Execute one instruction, recording its bus events."""
+        if self.halted:
+            return
+        if self.pc == 0:
+            self.halted = True
+            return
+        instruction = self.program.text.get(self.pc)
+        if instruction is None:
+            raise CPUError(f"fetch from non-code address {self.pc:#010x}")
+        self.events.append(BusEvent(self.pc, SEL_INSTRUCTION))
+        next_pc = (self.pc + 4) & WORD_MASK
+        self._execute(instruction, next_pc_holder := [next_pc])
+        self.pc = next_pc_holder[0]
+        self.registers[0] = 0  # $zero is hard-wired
+
+    def _execute(self, ins: Instruction, next_pc: List[int]) -> None:
+        regs = self.registers
+        mnemonic = ins.mnemonic
+
+        if mnemonic == "halt":
+            self.halted = True
+            return
+        if mnemonic == "nop":
+            return
+        if mnemonic == "add":
+            regs[ins.rd] = (regs[ins.rs] + regs[ins.rt]) & WORD_MASK
+        elif mnemonic == "sub":
+            regs[ins.rd] = (regs[ins.rs] - regs[ins.rt]) & WORD_MASK
+        elif mnemonic == "and":
+            regs[ins.rd] = regs[ins.rs] & regs[ins.rt]
+        elif mnemonic == "or":
+            regs[ins.rd] = regs[ins.rs] | regs[ins.rt]
+        elif mnemonic == "xor":
+            regs[ins.rd] = regs[ins.rs] ^ regs[ins.rt]
+        elif mnemonic == "slt":
+            regs[ins.rd] = int(_signed(regs[ins.rs]) < _signed(regs[ins.rt]))
+        elif mnemonic == "sll":
+            regs[ins.rd] = (regs[ins.rs] << ins.rt) & WORD_MASK
+        elif mnemonic == "srl":
+            regs[ins.rd] = (regs[ins.rs] >> ins.rt) & WORD_MASK
+        elif mnemonic == "jr":
+            next_pc[0] = regs[ins.rs] & WORD_MASK
+        elif mnemonic == "addi":
+            regs[ins.rd] = (regs[ins.rs] + ins.imm) & WORD_MASK
+        elif mnemonic == "andi":
+            regs[ins.rd] = regs[ins.rs] & (ins.imm & 0xFFFF)
+        elif mnemonic == "ori":
+            regs[ins.rd] = regs[ins.rs] | (ins.imm & 0xFFFF)
+        elif mnemonic == "slti":
+            regs[ins.rd] = int(_signed(regs[ins.rs]) < ins.imm)
+        elif mnemonic == "lui":
+            regs[ins.rd] = (ins.imm & 0xFFFF) << 16
+        elif mnemonic == "lw":
+            address = (regs[ins.rs] + ins.imm) & WORD_MASK
+            self.events.append(BusEvent(address, SEL_DATA))
+            regs[ins.rd] = self.load_word(address)
+        elif mnemonic == "sw":
+            address = (regs[ins.rs] + ins.imm) & WORD_MASK
+            self.events.append(BusEvent(address, SEL_DATA))
+            self.store_word(address, regs[ins.rd])
+        elif mnemonic == "lb":
+            address = (regs[ins.rs] + ins.imm) & WORD_MASK
+            self.events.append(BusEvent(address, SEL_DATA))
+            regs[ins.rd] = self.load_byte(address)
+        elif mnemonic == "sb":
+            address = (regs[ins.rs] + ins.imm) & WORD_MASK
+            self.events.append(BusEvent(address, SEL_DATA))
+            self.store_byte(address, regs[ins.rd])
+        elif mnemonic == "beq":
+            if regs[ins.rd] == regs[ins.rs]:
+                next_pc[0] = (self.pc + 4 + 4 * ins.imm) & WORD_MASK
+        elif mnemonic == "bne":
+            if regs[ins.rd] != regs[ins.rs]:
+                next_pc[0] = (self.pc + 4 + 4 * ins.imm) & WORD_MASK
+        elif mnemonic == "blt":
+            if _signed(regs[ins.rd]) < _signed(regs[ins.rs]):
+                next_pc[0] = (self.pc + 4 + 4 * ins.imm) & WORD_MASK
+        elif mnemonic == "bge":
+            if _signed(regs[ins.rd]) >= _signed(regs[ins.rs]):
+                next_pc[0] = (self.pc + 4 + 4 * ins.imm) & WORD_MASK
+        elif mnemonic == "j":
+            next_pc[0] = (ins.imm * 4) & WORD_MASK
+        elif mnemonic == "jal":
+            regs[31] = next_pc[0]
+            next_pc[0] = (ins.imm * 4) & WORD_MASK
+        else:  # pragma: no cover - the ISA table is closed
+            raise CPUError(f"unimplemented mnemonic {mnemonic!r}")
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def run_program(
+    program: Program, max_steps: int = 1_000_000
+) -> ExecutionResult:
+    """Convenience wrapper: fresh CPU, run to completion."""
+    return CPU(program).run(max_steps=max_steps)

@@ -1,0 +1,47 @@
+"""MIPS-like memory layout constants.
+
+The paper measured the 32-bit address bus of a MIPS RISC processor.  The
+classic MIPS user-space layout places code, static data, heap and stack in
+widely separated segments; the large Hamming distance between segment bases
+is what makes data-address streams expensive under binary encoding and gives
+bus-invert its opportunity (paper Tables 3 and 6).
+"""
+
+from __future__ import annotations
+
+#: Start of the text (code) segment.
+TEXT_BASE = 0x0040_0000
+#: Default span of the text segment used by the generators/programs.
+TEXT_SPAN = 0x0004_0000
+
+#: Shared-library code region (far calls land here).
+LIBRARY_BASE = 0x0FC0_0000
+LIBRARY_SPAN = 0x0002_0000
+
+#: Static data (globals) segment.
+DATA_BASE = 0x1001_0000
+DATA_SPAN = 0x0001_0000
+
+#: Heap (dynamically allocated arrays and records).
+HEAP_BASE = 0x1004_0000
+HEAP_SPAN = 0x0010_0000
+
+#: Stack top; frames grow downwards.
+STACK_TOP = 0x7FFF_EFFC
+STACK_SPAN = 0x0000_8000
+
+#: Word size in bytes — the default T0/Gray stride for instruction fetch.
+WORD_BYTES = 4
+
+#: Bus width of the measured processor.
+ADDRESS_BITS = 32
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+
+def align(address: int, granularity: int = WORD_BYTES) -> int:
+    """Round an address down to the given power-of-two granularity."""
+    if granularity < 1 or (granularity & (granularity - 1)) != 0:
+        raise ValueError(
+            f"granularity must be a positive power of two, got {granularity}"
+        )
+    return address & ~(granularity - 1) & ADDRESS_MASK

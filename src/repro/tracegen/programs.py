@@ -1,0 +1,569 @@
+"""Benchmark kernels for the MIPS-like CPU.
+
+Small assembly programs whose address behaviour spans the space the paper's
+benchmarks cover: array-sweeping loops (gzip-like), nested loops with mixed
+access (matlab-like), branchy scanning (espresso-like), pointer chasing
+(oracle-like), recursive call trees (latex-like) and string processing.
+
+``trace_kernel(name)`` assembles, runs and returns the three bus traces of a
+kernel — the CPU-simulator counterpart of the statistical benchmark
+profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.tracegen.assembler import Program, assemble
+from repro.tracegen.cpu import ExecutionResult, run_program
+from repro.tracegen.trace import AddressTrace
+
+VECTOR_SUM = """
+# Sum a 256-element word array — the archetypal sequential sweep.
+.data
+array:  .space 1024
+.text
+main:
+    lui  $t0, %hi(array)
+    ori  $t0, $t0, %lo(array)
+    addi $t1, $zero, 256      # element count
+    addi $v0, $zero, 0        # accumulator
+loop:
+    lw   $t2, 0($t0)
+    add  $v0, $v0, $t2
+    addi $t0, $t0, 4
+    addi $t1, $t1, -1
+    bne  $t1, $zero, loop
+    halt
+"""
+
+MEMCPY = """
+# Word-wise copy of 192 words between two heap buffers.
+.data
+src:    .space 768
+dst:    .space 768
+.text
+main:
+    lui  $t0, %hi(src)
+    ori  $t0, $t0, %lo(src)
+    lui  $t1, %hi(dst)
+    ori  $t1, $t1, %lo(dst)
+    addi $t2, $zero, 192
+copy:
+    lw   $t3, 0($t0)
+    sw   $t3, 0($t1)
+    addi $t0, $t0, 4
+    addi $t1, $t1, 4
+    addi $t2, $t2, -1
+    bne  $t2, $zero, copy
+    halt
+"""
+
+MATRIX_MULTIPLY = """
+# C = A * B for 12x12 word matrices: nested loops, strided + sequential mix.
+.data
+mat_a:  .space 576
+mat_b:  .space 576
+mat_c:  .space 576
+.text
+main:
+    addi $s0, $zero, 0          # i
+outer_i:
+    addi $s1, $zero, 0          # j
+outer_j:
+    addi $s2, $zero, 0          # k
+    addi $v0, $zero, 0          # acc
+inner_k:
+    # a[i][k]: base + (i*12 + k) * 4
+    addi $t0, $zero, 12
+    addi $t1, $zero, 0
+    add  $t1, $s0, $zero
+    sll  $t1, $t1, 2
+    add  $t1, $t1, $s0          # i*5 (approximates i*12/..) -- use shifts:
+    # recompute properly: i*12 = (i<<3) + (i<<2)
+    sll  $t2, $s0, 3
+    sll  $t3, $s0, 2
+    add  $t2, $t2, $t3          # i*12
+    add  $t2, $t2, $s2          # i*12 + k
+    sll  $t2, $t2, 2
+    lui  $t4, %hi(mat_a)
+    ori  $t4, $t4, %lo(mat_a)
+    add  $t4, $t4, $t2
+    lw   $t5, 0($t4)            # a[i][k]
+    # b[k][j]
+    sll  $t2, $s2, 3
+    sll  $t3, $s2, 2
+    add  $t2, $t2, $t3          # k*12
+    add  $t2, $t2, $s1
+    sll  $t2, $t2, 2
+    lui  $t4, %hi(mat_b)
+    ori  $t4, $t4, %lo(mat_b)
+    add  $t4, $t4, $t2
+    lw   $t6, 0($t4)            # b[k][j]
+    add  $t7, $t5, $t6          # use add as cheap stand-in for multiply
+    add  $v0, $v0, $t7
+    addi $s2, $s2, 1
+    addi $t8, $zero, 12
+    blt  $s2, $t8, inner_k
+    # c[i][j] = acc
+    sll  $t2, $s0, 3
+    sll  $t3, $s0, 2
+    add  $t2, $t2, $t3
+    add  $t2, $t2, $s1
+    sll  $t2, $t2, 2
+    lui  $t4, %hi(mat_c)
+    ori  $t4, $t4, %lo(mat_c)
+    add  $t4, $t4, $t2
+    sw   $v0, 0($t4)
+    addi $s1, $s1, 1
+    addi $t8, $zero, 12
+    blt  $s1, $t8, outer_j
+    addi $s0, $s0, 1
+    addi $t8, $zero, 12
+    blt  $s0, $t8, outer_i
+    halt
+"""
+
+STRING_SEARCH = """
+# Naive substring search: byte loads, short inner loops, branchy.
+.data
+haystack: .space 512
+needle:   .space 16
+.text
+main:
+    # Fill haystack with a repeating pattern (65 + i % 7) and plant needle.
+    lui  $t0, %hi(haystack)
+    ori  $t0, $t0, %lo(haystack)
+    addi $t1, $zero, 0
+fill:
+    addi $t2, $zero, 7
+    addi $t3, $zero, 0
+    add  $t4, $t1, $zero
+mod7:
+    blt  $t4, $t2, mod7done
+    sub  $t4, $t4, $t2
+    j    mod7
+mod7done:
+    addi $t4, $t4, 65
+    add  $t5, $t0, $t1
+    sb   $t4, 0($t5)
+    addi $t1, $t1, 1
+    addi $t6, $zero, 500
+    blt  $t1, $t6, fill
+    # needle = "ABC" planted implicitly (pattern contains it); search:
+    lui  $s0, %hi(haystack)
+    ori  $s0, $s0, %lo(haystack)
+    addi $s1, $zero, 0          # position
+    addi $v0, $zero, 0          # match count
+search:
+    add  $t0, $s0, $s1
+    lb   $t1, 0($t0)
+    addi $t2, $zero, 65         # 'A'
+    bne  $t1, $t2, next
+    lb   $t3, 1($t0)
+    addi $t2, $zero, 66         # 'B'
+    bne  $t3, $t2, next
+    lb   $t3, 2($t0)
+    addi $t2, $zero, 67         # 'C'
+    bne  $t3, $t2, next
+    addi $v0, $v0, 1
+next:
+    addi $s1, $s1, 1
+    addi $t6, $zero, 490
+    blt  $s1, $t6, search
+    halt
+"""
+
+BUBBLE_SORT = """
+# Bubble sort of 48 pseudo-random words: quadratic sweeps with swaps.
+.data
+values: .space 192
+.text
+main:
+    # Seed the array with a linear-congruential-ish pattern.
+    lui  $t0, %hi(values)
+    ori  $t0, $t0, %lo(values)
+    addi $t1, $zero, 0
+    addi $t2, $zero, 12345
+seed:
+    sll  $t3, $t2, 1
+    xor  $t2, $t3, $t2
+    andi $t2, $t2, 0x7FFF
+    sw   $t2, 0($t0)
+    addi $t0, $t0, 4
+    addi $t1, $t1, 1
+    addi $t4, $zero, 48
+    blt  $t1, $t4, seed
+    # Sort.
+    addi $s0, $zero, 0          # pass
+pass_loop:
+    lui  $t0, %hi(values)
+    ori  $t0, $t0, %lo(values)
+    addi $t1, $zero, 0          # index
+inner:
+    lw   $t2, 0($t0)
+    lw   $t3, 4($t0)
+    bge  $t3, $t2, no_swap
+    sw   $t3, 0($t0)
+    sw   $t2, 4($t0)
+no_swap:
+    addi $t0, $t0, 4
+    addi $t1, $t1, 1
+    addi $t4, $zero, 47
+    blt  $t1, $t4, inner
+    addi $s0, $s0, 1
+    addi $t4, $zero, 47
+    blt  $s0, $t4, pass_loop
+    halt
+"""
+
+LINKED_LIST = """
+# Build a 64-node linked list scattered across the heap, then traverse it
+# 24 times — the pointer-chasing access pattern (oracle-like).
+.data
+nodes:  .space 2048             # 64 nodes x 8 bytes (value, next)
+.text
+main:
+    # Link node i -> node (i*17 + 5) % 64 to scatter the traversal order.
+    lui  $s0, %hi(nodes)
+    ori  $s0, $s0, %lo(nodes)
+    addi $t0, $zero, 0          # i
+build:
+    # target = (i*17 + 5) % 64 = (i*16 + i + 5) & 63
+    sll  $t1, $t0, 4
+    add  $t1, $t1, $t0
+    addi $t1, $t1, 5
+    andi $t1, $t1, 63
+    sll  $t2, $t1, 3            # target offset
+    add  $t2, $s0, $t2          # target node address
+    sll  $t3, $t0, 3
+    add  $t3, $s0, $t3          # node i address
+    sw   $t0, 0($t3)            # value = i
+    sw   $t2, 4($t3)            # next pointer
+    addi $t0, $t0, 1
+    addi $t4, $zero, 64
+    blt  $t0, $t4, build
+    # Traverse.
+    addi $s1, $zero, 0          # repetition counter
+    addi $v0, $zero, 0
+traverse_start:
+    add  $t0, $s0, $zero        # current = head
+    addi $t1, $zero, 0          # hop counter
+hop:
+    lw   $t2, 0($t0)            # value
+    add  $v0, $v0, $t2
+    lw   $t0, 4($t0)            # next
+    addi $t1, $t1, 1
+    addi $t4, $zero, 64
+    blt  $t1, $t4, hop
+    addi $s1, $s1, 1
+    addi $t4, $zero, 24
+    blt  $s1, $t4, traverse_start
+    halt
+"""
+
+FIBONACCI = """
+# Recursive fib(12): deep call tree, stack-frame save/restore traffic.
+.text
+main:
+    addi $a0, $zero, 12
+    jal  fib
+    halt
+fib:
+    addi $t0, $zero, 2
+    blt  $a0, $t0, base_case
+    # Prologue: push ra, a0, s0.
+    addi $sp, $sp, -12
+    sw   $ra, 0($sp)
+    sw   $a0, 4($sp)
+    sw   $s0, 8($sp)
+    addi $a0, $a0, -1
+    jal  fib
+    add  $s0, $v0, $zero        # fib(n-1)
+    lw   $a0, 4($sp)
+    addi $a0, $a0, -2
+    jal  fib
+    add  $v0, $v0, $s0          # fib(n-1) + fib(n-2)
+    # Epilogue.
+    lw   $ra, 0($sp)
+    lw   $s0, 8($sp)
+    addi $sp, $sp, 12
+    jr   $ra
+base_case:
+    add  $v0, $a0, $zero        # fib(0)=0, fib(1)=1
+    jr   $ra
+"""
+
+HISTOGRAM = """
+# Histogram of 300 bytes into 16 bins: sequential reads, scattered writes.
+.data
+input:  .space 304
+bins:   .space 64
+.text
+main:
+    # Fill input with (i * 7 + 3) & 0xFF.
+    lui  $t0, %hi(input)
+    ori  $t0, $t0, %lo(input)
+    addi $t1, $zero, 0
+fill:
+    sll  $t2, $t1, 3
+    sub  $t2, $t2, $t1          # i*7
+    addi $t2, $t2, 3
+    andi $t2, $t2, 0xFF
+    add  $t3, $t0, $t1
+    sb   $t2, 0($t3)
+    addi $t1, $t1, 1
+    addi $t4, $zero, 300
+    blt  $t1, $t4, fill
+    # Accumulate.
+    lui  $s0, %hi(bins)
+    ori  $s0, $s0, %lo(bins)
+    addi $t1, $zero, 0
+accumulate:
+    lui  $t0, %hi(input)
+    ori  $t0, $t0, %lo(input)
+    add  $t3, $t0, $t1
+    lb   $t2, 0($t3)
+    srl  $t2, $t2, 4            # bin = byte >> 4
+    sll  $t2, $t2, 2
+    add  $t5, $s0, $t2
+    lw   $t6, 0($t5)
+    addi $t6, $t6, 1
+    sw   $t6, 0($t5)
+    addi $t1, $t1, 1
+    addi $t4, $zero, 300
+    blt  $t1, $t4, accumulate
+    halt
+"""
+
+BINARY_SEARCH = """
+# 48 binary searches over a sorted 256-word table: logarithmic hop pattern.
+.data
+table:  .space 1024
+.text
+main:
+    # table[i] = 3*i (sorted by construction)
+    lui  $s0, %hi(table)
+    ori  $s0, $s0, %lo(table)
+    addi $t0, $zero, 0
+fill:
+    add  $t1, $t0, $t0
+    add  $t1, $t1, $t0        # 3*i
+    sll  $t2, $t0, 2
+    add  $t2, $s0, $t2
+    sw   $t1, 0($t2)
+    addi $t0, $t0, 1
+    addi $t3, $zero, 256
+    blt  $t0, $t3, fill
+    # 48 searches for target = 16*k + 1 (mostly missing values)
+    addi $s1, $zero, 0        # k
+searches:
+    sll  $a0, $s1, 4
+    addi $a0, $a0, 1          # target
+    addi $t4, $zero, 0        # lo
+    addi $t5, $zero, 255      # hi
+bsearch:
+    bge  $t4, $t5, done_one
+    add  $t6, $t4, $t5
+    srl  $t6, $t6, 1          # mid
+    sll  $t7, $t6, 2
+    add  $t7, $s0, $t7
+    lw   $t8, 0($t7)          # table[mid]
+    bge  $t8, $a0, go_left
+    addi $t4, $t6, 1
+    j    bsearch
+go_left:
+    add  $t5, $t6, $zero
+    j    bsearch
+done_one:
+    addi $s1, $s1, 1
+    addi $t9, $zero, 48
+    blt  $s1, $t9, searches
+    halt
+"""
+
+CRC32 = """
+# Bitwise CRC over 96 bytes: tight rotate/xor loop, byte loads.
+.data
+message: .space 96
+.text
+main:
+    # message[i] = (i * 31 + 7) & 0xFF
+    lui  $s0, %hi(message)
+    ori  $s0, $s0, %lo(message)
+    addi $t0, $zero, 0
+fill:
+    sll  $t1, $t0, 5
+    sub  $t1, $t1, $t0        # i*31
+    addi $t1, $t1, 7
+    andi $t1, $t1, 0xFF
+    add  $t2, $s0, $t0
+    sb   $t1, 0($t2)
+    addi $t0, $t0, 1
+    addi $t3, $zero, 96
+    blt  $t0, $t3, fill
+    # crc loop
+    addi $v0, $zero, -1       # crc = 0xFFFFFFFF
+    addi $t0, $zero, 0        # byte index
+bytes:
+    add  $t2, $s0, $t0
+    lb   $t4, 0($t2)
+    xor  $v0, $v0, $t4
+    addi $t5, $zero, 0        # bit counter
+bits:
+    andi $t6, $v0, 1
+    srl  $v0, $v0, 1
+    beq  $t6, $zero, no_poly
+    lui  $t7, 0xEDB8
+    ori  $t7, $t7, 0x8320
+    xor  $v0, $v0, $t7
+no_poly:
+    addi $t5, $t5, 1
+    addi $t8, $zero, 8
+    blt  $t5, $t8, bits
+    addi $t0, $t0, 1
+    addi $t3, $zero, 96
+    blt  $t0, $t3, bytes
+    halt
+"""
+
+QUICKSORT = """
+# Iterative quicksort of 64 words with an explicit range stack on $sp.
+.data
+data:   .space 256
+.text
+main:
+    # seed data[i] with a xorshift-ish pattern
+    lui  $s0, %hi(data)
+    ori  $s0, $s0, %lo(data)
+    addi $t0, $zero, 0
+    addi $t1, $zero, 0x3A7
+seed:
+    sll  $t2, $t1, 3
+    xor  $t1, $t1, $t2
+    srl  $t2, $t1, 5
+    xor  $t1, $t1, $t2
+    andi $t1, $t1, 0x7FFF
+    sll  $t3, $t0, 2
+    add  $t3, $s0, $t3
+    sw   $t1, 0($t3)
+    addi $t0, $t0, 1
+    addi $t4, $zero, 64
+    blt  $t0, $t4, seed
+    # push initial range [0, 63]
+    addi $sp, $sp, -8
+    sw   $zero, 0($sp)
+    addi $t0, $zero, 63
+    sw   $t0, 4($sp)
+    addi $s7, $zero, 1        # stack depth
+qs_loop:
+    beq  $s7, $zero, qs_done
+    # pop range
+    lw   $s1, 0($sp)          # lo
+    lw   $s2, 4($sp)          # hi
+    addi $sp, $sp, 8
+    addi $s7, $s7, -1
+    bge  $s1, $s2, qs_loop
+    # partition: pivot = data[hi]
+    sll  $t0, $s2, 2
+    add  $t0, $s0, $t0
+    lw   $s3, 0($t0)          # pivot value
+    add  $s4, $s1, $zero      # store index i
+    add  $t1, $s1, $zero      # scan index j
+partition:
+    bge  $t1, $s2, part_done
+    sll  $t2, $t1, 2
+    add  $t2, $s0, $t2
+    lw   $t3, 0($t2)          # data[j]
+    bge  $t3, $s3, no_swap
+    # swap data[i] <-> data[j]
+    sll  $t4, $s4, 2
+    add  $t4, $s0, $t4
+    lw   $t5, 0($t4)
+    sw   $t3, 0($t4)
+    sw   $t5, 0($t2)
+    addi $s4, $s4, 1
+no_swap:
+    addi $t1, $t1, 1
+    j    partition
+part_done:
+    # swap data[i] <-> data[hi] (pivot into place)
+    sll  $t4, $s4, 2
+    add  $t4, $s0, $t4
+    lw   $t5, 0($t4)
+    sll  $t6, $s2, 2
+    add  $t6, $s0, $t6
+    lw   $t7, 0($t6)
+    sw   $t7, 0($t4)
+    sw   $t5, 0($t6)
+    # push [lo, i-1]
+    addi $t8, $s4, -1
+    bge  $s1, $t8, skip_left
+    addi $sp, $sp, -8
+    sw   $s1, 0($sp)
+    sw   $t8, 4($sp)
+    addi $s7, $s7, 1
+skip_left:
+    # push [i+1, hi]
+    addi $t8, $s4, 1
+    bge  $t8, $s2, skip_right
+    addi $sp, $sp, -8
+    sw   $t8, 0($sp)
+    sw   $s2, 4($sp)
+    addi $s7, $s7, 1
+skip_right:
+    j    qs_loop
+qs_done:
+    halt
+"""
+
+#: Kernel registry: name -> assembly source.
+KERNELS: Dict[str, str] = {
+    "binary_search": BINARY_SEARCH,
+    "crc32": CRC32,
+    "quicksort": QUICKSORT,
+    "vector_sum": VECTOR_SUM,
+    "memcpy": MEMCPY,
+    "matrix_multiply": MATRIX_MULTIPLY,
+    "string_search": STRING_SEARCH,
+    "bubble_sort": BUBBLE_SORT,
+    "linked_list": LINKED_LIST,
+    "fibonacci": FIBONACCI,
+    "histogram": HISTOGRAM,
+}
+
+
+def kernel_names() -> List[str]:
+    """Sorted names of the bundled kernels."""
+    return sorted(KERNELS)
+
+
+def build_kernel(name: str) -> Program:
+    """Assemble a bundled kernel by name."""
+    try:
+        source = KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {', '.join(kernel_names())}"
+        ) from None
+    return assemble(source)
+
+
+def run_kernel(name: str, max_steps: int = 2_000_000) -> ExecutionResult:
+    """Assemble and execute a bundled kernel."""
+    result = run_program(build_kernel(name), max_steps=max_steps)
+    if not result.halted:
+        raise RuntimeError(f"kernel {name!r} did not halt in {max_steps} steps")
+    return result
+
+
+def trace_kernel(
+    name: str, max_steps: int = 2_000_000
+) -> Tuple[AddressTrace, AddressTrace, AddressTrace]:
+    """The (instruction, data, multiplexed) bus traces of a kernel run."""
+    result = run_kernel(name, max_steps=max_steps)
+    return (
+        result.instruction_trace(f"{name}.instruction"),
+        result.data_trace(f"{name}.data"),
+        result.multiplexed_trace(f"{name}.multiplexed"),
+    )

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import make_codec
+from repro.tracegen import layout
+
+
+def make_mixed_stream(length: int = 400, seed: int = 0, width: int = 32):
+    """A stream mixing sequential runs, local jumps and region changes —
+    exercises every branch of every code."""
+    rng = random.Random(seed)
+    mask = (1 << width) - 1
+    regions = [layout.TEXT_BASE, layout.DATA_BASE, layout.STACK_TOP - 0x4000]
+    address = layout.TEXT_BASE
+    addresses = []
+    sels = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.5:
+            address = (address + 4) & mask
+        elif roll < 0.8:
+            address = (address + 4 * rng.randrange(-64, 64)) & mask & ~3
+        else:
+            address = (rng.choice(regions) + 4 * rng.randrange(256)) & mask
+        addresses.append(address)
+        sels.append(1 if rng.random() < 0.7 else 0)
+    return addresses, sels
+
+
+@pytest.fixture
+def mixed_stream():
+    return make_mixed_stream()
+
+
+ALL_SIMPLE_CODECS = [
+    "binary",
+    "gray",
+    "bus-invert",
+    "t0",
+    "t0bi",
+    "dualt0",
+    "dualt0bi",
+    "offset",
+    "inc-xor",
+    "wze",
+    "pbi",
+]
+
+
+@pytest.fixture(params=ALL_SIMPLE_CODECS)
+def any_codec(request):
+    """Every registered codec that needs no training data."""
+    return make_codec(request.param, 32)

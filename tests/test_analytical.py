@@ -1,0 +1,134 @@
+"""Tests for the Table 1 analytical models, cross-checked by simulation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import make_codec
+from repro.metrics import count_transitions
+from repro.power.analytical import (
+    Table1Row,
+    binary_random_transitions,
+    binary_sequential_transitions,
+    bus_invert_random_transitions,
+    bus_invert_sequential_transitions,
+    gray_sequential_transitions,
+    t0_random_transitions,
+    t0_sequential_transitions,
+    table1,
+    table1_as_dict,
+)
+
+
+class TestClosedForms:
+    def test_binary_random_is_half_width(self):
+        assert binary_random_transitions(32) == 16.0
+        assert binary_random_transitions(8) == 4.0
+
+    def test_binary_sequential_approaches_two(self):
+        assert binary_sequential_transitions(32) == pytest.approx(2.0, abs=1e-6)
+        # Exact small case: 2-bit counter flips 1+2=... period 4: flips
+        # (1,2,1,2)/4? Full period of 2-bit counter: 00->01 (1), 01->10 (2),
+        # 10->11 (1), 11->00 (2) = 6/4 = 1.5 = 2 - 2^(1-2).
+        assert binary_sequential_transitions(2) == 1.5
+
+    def test_binary_sequential_with_stride(self):
+        # Stride 4 on 32-bit bus: 30 counting bits.
+        assert binary_sequential_transitions(32, stride=4) == pytest.approx(
+            2.0 - 2.0 ** (1 - 30)
+        )
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            binary_sequential_transitions(32, stride=3)
+        with pytest.raises(ValueError):
+            binary_sequential_transitions(2, stride=4)
+
+    def test_gray_sequential_is_one(self):
+        assert gray_sequential_transitions() == 1.0
+
+    def test_t0_values(self):
+        assert t0_random_transitions(32) == 16.0
+        assert t0_sequential_transitions() == 0.0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            binary_random_transitions(0)
+        with pytest.raises(ValueError):
+            bus_invert_random_transitions(-4)
+
+    def test_lambda_small_case_by_enumeration(self):
+        """For N = 2, enumerate E[min(H, N+1-H)], H ~ Bin(3, 1/2)."""
+        # H in {0,1,2,3} with weights 1,3,3,1 over 8; min(H, 3-H) = 0,1,1,0.
+        expected = (0 * 1 + 1 * 3 + 1 * 3 + 0 * 1) / 8
+        assert bus_invert_random_transitions(2) == pytest.approx(expected)
+
+    def test_lambda_less_than_half_width(self):
+        """Bus-invert must beat binary on random data for every width."""
+        for width in (2, 4, 8, 16, 32, 64):
+            assert bus_invert_random_transitions(width) < width / 2
+
+    def test_bus_invert_sequential_equals_binary(self):
+        assert bus_invert_sequential_transitions(32) == (
+            binary_sequential_transitions(32)
+        )
+
+
+class TestTable1:
+    def test_six_rows(self):
+        rows = table1(32)
+        assert len(rows) == 6
+        assert all(isinstance(row, Table1Row) for row in rows)
+
+    def test_relative_power_normalised_to_binary(self):
+        data = table1_as_dict(32)
+        assert data["random/binary"]["relative_power"] == 1.0
+        assert data["sequential/binary"]["relative_power"] == 1.0
+        assert data["sequential/t0"]["relative_power"] == 0.0
+        assert data["random/bus-invert"]["relative_power"] < 1.0
+
+    def test_per_line_accounts_for_redundant_wire(self):
+        data = table1_as_dict(32)
+        # T0 spreads the same transitions over 33 wires.
+        assert data["random/t0"]["per_line"] == pytest.approx(16 / 33)
+        assert data["random/binary"]["per_line"] == 0.5
+
+
+class TestMonteCarloAgreement:
+    """The closed forms must match the behavioural encoders."""
+
+    def test_binary_random(self):
+        rng = random.Random(1)
+        stream = [rng.randrange(1 << 32) for _ in range(4000)]
+        words = make_codec("binary", 32).make_encoder().encode_stream(stream)
+        measured = count_transitions(words, width=32).per_cycle
+        assert math.isclose(measured, 16.0, rel_tol=0.02)
+
+    def test_bus_invert_random_matches_lambda(self):
+        rng = random.Random(2)
+        stream = [rng.randrange(1 << 16) for _ in range(6000)]
+        words = make_codec("bus-invert", 16).make_encoder().encode_stream(stream)
+        measured = count_transitions(words, width=16).per_cycle
+        assert math.isclose(
+            measured, bus_invert_random_transitions(16), rel_tol=0.03
+        )
+
+    def test_binary_sequential_full_period(self):
+        """Exact check: one full period of an 8-bit counter."""
+        stream = [(i) & 0xFF for i in range(257)]
+        words = make_codec("binary", 8).make_encoder().encode_stream(stream)
+        measured = count_transitions(words, width=8).per_cycle
+        assert measured == pytest.approx(binary_sequential_transitions(8))
+
+    @given(st.sampled_from([4, 8, 12, 16]))
+    def test_lambda_monte_carlo_any_width(self, width):
+        rng = random.Random(width)
+        stream = [rng.randrange(1 << width) for _ in range(4000)]
+        words = make_codec("bus-invert", width).make_encoder().encode_stream(stream)
+        measured = count_transitions(words, width=width).per_cycle
+        assert math.isclose(
+            measured, bus_invert_random_transitions(width), rel_tol=0.06
+        )

@@ -1,0 +1,219 @@
+"""Tests for the ISA encoding and the two-pass assembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tracegen import layout
+from repro.tracegen.assembler import Assembler, AssemblyError, assemble
+from repro.tracegen.isa import (
+    OPCODES,
+    REGISTER_NAMES,
+    Instruction,
+    decode,
+    sign_extend_16,
+)
+
+
+class TestInstructionEncoding:
+    @given(
+        st.sampled_from([m for m, (f, _) in OPCODES.items() if f == "R"]),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_r_type_roundtrip(self, mnemonic, rd, rs, rt):
+        instruction = Instruction(mnemonic, rd=rd, rs=rs, rt=rt)
+        assert decode(instruction.encode()) == instruction
+
+    @given(
+        st.sampled_from(
+            [m for m, (f, _) in OPCODES.items() if f in ("I", "M", "B")]
+        ),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=-0x8000, max_value=0x7FFF),
+    )
+    def test_immediate_roundtrip(self, mnemonic, rd, rs, imm):
+        instruction = Instruction(mnemonic, rd=rd, rs=rs, imm=imm)
+        assert decode(instruction.encode()) == instruction
+
+    @given(
+        st.sampled_from([m for m, (f, _) in OPCODES.items() if f == "J"]),
+        st.integers(min_value=0, max_value=0x03FF_FFFF),
+    )
+    def test_jump_roundtrip(self, mnemonic, target):
+        instruction = Instruction(mnemonic, imm=target)
+        assert decode(instruction.encode()) == instruction
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("mul")
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction("add", rd=32)
+
+    def test_decode_bad_opcode(self):
+        with pytest.raises(ValueError):
+            decode(0xFFFF_FFFF & (0x2A << 26))
+
+    def test_sign_extend(self):
+        assert sign_extend_16(0x7FFF) == 0x7FFF
+        assert sign_extend_16(0x8000) == -0x8000
+        assert sign_extend_16(0xFFFF) == -1
+
+    def test_register_name_table(self):
+        assert REGISTER_NAMES[0] == "$zero"
+        assert REGISTER_NAMES[29] == "$sp"
+        assert REGISTER_NAMES[31] == "$ra"
+        assert len(REGISTER_NAMES) == 32
+
+
+class TestAssembler:
+    def test_minimal_program(self):
+        program = assemble(
+            """
+            main:
+                addi $t0, $zero, 5
+                halt
+            """
+        )
+        assert program.entry == layout.TEXT_BASE
+        assert len(program.text) == 2
+        first = program.text[layout.TEXT_BASE]
+        assert first.mnemonic == "addi"
+        assert first.imm == 5
+
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            main:
+                addi $t0, $zero, 0
+            loop:
+                addi $t0, $t0, 1
+                bne  $t0, $zero, loop
+                halt
+            """
+        )
+        branch = program.text[layout.TEXT_BASE + 8]
+        # Branch target is PC-relative in words: loop is one back from PC+4.
+        assert branch.mnemonic == "bne"
+        assert branch.imm == -2
+
+    def test_data_directives(self):
+        program = assemble(
+            """
+            .data
+            table: .word 1, 2, 3
+            buffer: .space 8
+            after: .word 0xFF
+            .text
+            main:
+                halt
+            """
+        )
+        base = layout.DATA_BASE
+        assert program.data[base] == 1
+        assert program.data[base + 8] == 3
+        assert program.symbols["buffer"] == base + 12
+        assert program.symbols["after"] == base + 20
+        assert program.data[base + 20] == 0xFF
+
+    def test_hi_lo_relocations(self):
+        program = assemble(
+            """
+            .data
+            var: .word 7
+            .text
+            main:
+                lui $t0, %hi(var)
+                ori $t0, $t0, %lo(var)
+                halt
+            """
+        )
+        lui = program.text[layout.TEXT_BASE]
+        ori = program.text[layout.TEXT_BASE + 4]
+        assert (lui.imm << 16) | ori.imm == program.symbols["var"]
+
+    def test_memory_operand_syntax(self):
+        program = assemble(
+            """
+            main:
+                lw $t0, 8($sp)
+                sw $t0, -4($gp)
+                halt
+            """
+        )
+        lw = program.text[layout.TEXT_BASE]
+        assert (lw.rd, lw.rs, lw.imm) == (8, 29, 8)
+        sw = program.text[layout.TEXT_BASE + 4]
+        assert (sw.rd, sw.rs, sw.imm) == (8, 28, -4)
+
+    def test_comments_stripped(self):
+        program = assemble("main:\n    halt  # stop here\n")
+        assert len(program.text) == 1
+
+    def test_numeric_registers(self):
+        program = assemble("main:\n    add $1, $2, $3\n    halt")
+        instruction = program.text[layout.TEXT_BASE]
+        assert (instruction.rd, instruction.rs, instruction.rt) == (1, 2, 3)
+
+    def test_jump_targets(self):
+        program = assemble(
+            """
+            main:
+                jal helper
+                halt
+            helper:
+                jr $ra
+            """
+        )
+        jal = program.text[layout.TEXT_BASE]
+        assert jal.imm * 4 == program.symbols["helper"]
+
+    def test_entry_defaults_to_main_or_first(self):
+        program = assemble("start:\n    halt", entry="start")
+        assert program.entry == program.symbols["start"]
+        program = assemble("first:\n    halt")  # no 'main'
+        assert program.entry == layout.TEXT_BASE
+
+    def test_text_words_encodes(self):
+        program = assemble("main:\n    halt")
+        words = program.text_words
+        assert decode(words[layout.TEXT_BASE]).mnemonic == "halt"
+
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("main:\n    frobnicate $t0", "unknown mnemonic"),
+            ("main:\n    add $t0, $t1", "takes 3 operands"),
+            ("main:\n    addi $t0, $t1, 99999", "does not fit"),
+            ("main:\n    lw $t0, somewhere", "offset"),
+            ("main:\n    beq $t0, $t1, nowhere", "unknown branch target"),
+            ("main:\n    add $t9, $t1, $frob", "unknown register"),
+            ("dup:\n    halt\ndup:\n    halt", "duplicate label"),
+            ("main:\n    .bogus 3", "unknown directive"),
+            (".data\nx: .word\n.text\nmain:\n halt", ".word needs"),
+        ],
+    )
+    def test_errors_are_reported_with_context(self, source, message):
+        with pytest.raises(AssemblyError, match=message):
+            assemble(source)
+
+    def test_custom_bases(self):
+        assembler = Assembler(text_base=0x1000, data_base=0x8000)
+        program = assembler.assemble(".data\nv: .word 1\n.text\nmain:\n    halt")
+        assert program.entry == 0x1000
+        assert program.symbols["v"] == 0x8000
+
+    def test_org_directive(self):
+        program = assemble(
+            """
+            .text
+            .org 0x00400100
+            main:
+                halt
+            """
+        )
+        assert program.entry == 0x00400100

@@ -1,0 +1,127 @@
+"""Tests for the Beach-style stream-adaptive code."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_codec, roundtrip_stream, train_beach_code
+from repro.core.beach import (
+    apply_matrix,
+    candidate_library,
+    gray_matrix,
+    identity_matrix,
+    invert_matrix,
+    is_invertible,
+    prefix_xor_matrix,
+    random_invertible_matrices,
+)
+from repro.metrics import count_transitions
+
+
+class TestGF2Algebra:
+    def test_identity(self):
+        matrix = identity_matrix(4)
+        for value in range(16):
+            assert apply_matrix(matrix, value) == value
+
+    def test_gray_matrix_matches_gray_code(self):
+        from repro.core.gray import binary_to_gray
+
+        matrix = gray_matrix(8)
+        for value in range(256):
+            assert apply_matrix(matrix, value) == binary_to_gray(value)
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_standard_matrices_invertible(self, size):
+        for matrix in (identity_matrix(size), gray_matrix(size), prefix_xor_matrix(size)):
+            assert is_invertible(matrix)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30)
+    def test_inverse_roundtrip(self, size, seed):
+        matrices = random_invertible_matrices(size, count=3, seed=seed)
+        for matrix in matrices:
+            inverse = invert_matrix(matrix)
+            for value in range(1 << size):
+                assert apply_matrix(inverse, apply_matrix(matrix, value)) == value
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            invert_matrix((1, 1))  # two identical rows
+
+    def test_library_contains_identity_first(self):
+        library = candidate_library(4)
+        assert library[0] == identity_matrix(4)
+        assert len(library) == len(set(library))  # no duplicates
+
+
+def _embedded_stream(length=800, seed=1):
+    """A looping embedded-code style stream: strong block correlations."""
+    rng = random.Random(seed)
+    hot = [0x00400000 + 16 * i for i in range(8)]
+    stream = []
+    while len(stream) < length:
+        base = rng.choice(hot)
+        for i in range(rng.randrange(3, 9)):
+            stream.append(base + 4 * i)
+    return stream[:length]
+
+
+class TestBeachCode:
+    def test_requires_training(self):
+        with pytest.raises(ValueError):
+            make_codec("beach", 32)
+
+    def test_roundtrip_on_training_stream(self):
+        stream = _embedded_stream()
+        codec = make_codec("beach", 32, training=stream[:400])
+        roundtrip_stream(codec, stream)
+
+    def test_roundtrip_on_unrelated_stream(self):
+        rng = random.Random(3)
+        stream = _embedded_stream()
+        codec = make_codec("beach", 32, training=stream[:400])
+        unrelated = [rng.randrange(1 << 32) for _ in range(300)]
+        roundtrip_stream(codec, unrelated)
+
+    def test_never_worse_than_identity_on_training(self):
+        """Training selects per-cluster transforms by minimum transition
+        count with identity in the library, so the trained code cannot lose
+        to binary on its own training stream."""
+        stream = _embedded_stream(seed=7)
+        code = train_beach_code(stream, width=32)
+        binary = count_transitions(
+            make_codec("binary", 32).make_encoder().encode_stream(stream), width=32
+        ).total
+        beach = count_transitions(
+            make_codec("beach", 32, training=stream).make_encoder().encode_stream(stream),
+            width=32,
+        ).total
+        assert beach <= binary
+
+    def test_clusters_partition_all_lines(self):
+        stream = _embedded_stream()
+        code = train_beach_code(stream, width=32, cluster_size=4)
+        lines = sorted(line for cluster in code.clusters for line in cluster)
+        assert lines == list(range(32))
+        assert all(len(cluster) <= 4 for cluster in code.clusters)
+
+    def test_cluster_size_validation(self):
+        with pytest.raises(ValueError):
+            train_beach_code([1, 2, 3], width=32, cluster_size=0)
+
+    def test_training_needs_two_addresses(self):
+        with pytest.raises(ValueError):
+            train_beach_code([42], width=32)
+
+    def test_deterministic_given_seed(self):
+        stream = _embedded_stream()
+        a = train_beach_code(stream, width=32, seed=5)
+        b = train_beach_code(stream, width=32, seed=5)
+        assert a == b
+
+    def test_irredundant(self):
+        stream = _embedded_stream()
+        assert make_codec("beach", 32, training=stream[:100]).extra_lines == ()

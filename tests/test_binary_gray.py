@@ -1,0 +1,106 @@
+"""Tests for the binary and Gray codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    BinaryDecoder,
+    BinaryEncoder,
+    GrayDecoder,
+    GrayEncoder,
+    binary_to_gray,
+    gray_to_binary,
+    make_codec,
+    roundtrip_stream,
+)
+from repro.metrics import count_transitions
+
+addresses32 = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=200
+)
+
+
+class TestBinary:
+    def test_identity(self):
+        encoder = BinaryEncoder(32)
+        assert encoder.encode(0xCAFEBABE).bus == 0xCAFEBABE
+
+    def test_no_extras(self):
+        assert BinaryEncoder(32).extra_lines == ()
+
+    def test_rejects_oversized_address(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(8).encode(256)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(8).encode(-1)
+
+    @given(addresses32)
+    def test_roundtrip(self, addresses):
+        roundtrip_stream(make_codec("binary", 32), addresses)
+
+    def test_decoder_masks(self):
+        from repro.core.word import EncodedWord
+
+        assert BinaryDecoder(8).decode(EncodedWord(0x1FF)) == 0xFF
+
+
+class TestGrayConversion:
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    def test_bijection(self, value):
+        assert gray_to_binary(binary_to_gray(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**40 - 2))
+    def test_adjacent_values_differ_in_one_bit(self, value):
+        diff = binary_to_gray(value) ^ binary_to_gray(value + 1)
+        assert diff.bit_count() == 1
+
+    def test_known_values(self):
+        # Classic 3-bit Gray sequence.
+        assert [binary_to_gray(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            binary_to_gray(-1)
+        with pytest.raises(ValueError):
+            gray_to_binary(-1)
+
+
+class TestGrayCodec:
+    @given(addresses32)
+    def test_roundtrip_stride1(self, addresses):
+        roundtrip_stream(make_codec("gray", 32, stride=1), addresses)
+
+    @given(addresses32)
+    def test_roundtrip_stride4(self, addresses):
+        roundtrip_stream(make_codec("gray", 32, stride=4), addresses)
+
+    def test_sequential_stream_single_transition_per_address(self):
+        """The Gray property the paper cites: 1 transition per +S step."""
+        for stride in (1, 4):
+            codec = make_codec("gray", 32, stride=stride)
+            addresses = [0x40_0000 + stride * i for i in range(100)]
+            words = codec.make_encoder().encode_stream(addresses)
+            report = count_transitions(words, width=32)
+            assert report.total == len(addresses) - 1
+
+    def test_stride_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            GrayEncoder(32, stride=3)
+        with pytest.raises(ValueError):
+            GrayDecoder(32, stride=0)
+
+    def test_byte_offset_bits_pass_through(self):
+        encoder = GrayEncoder(32, stride=4)
+        word = encoder.encode(0x1003)  # low two bits = 3
+        assert word.bus & 0b11 == 0b11
+
+    def test_beats_binary_on_sequential(self):
+        addresses = [4 * i for i in range(256)]
+        gray_words = make_codec("gray", 32, stride=4).make_encoder().encode_stream(addresses)
+        binary_words = make_codec("binary", 32).make_encoder().encode_stream(addresses)
+        gray_total = count_transitions(gray_words, width=32).total
+        binary_total = count_transitions(binary_words, width=32).total
+        assert gray_total < binary_total

@@ -1,0 +1,71 @@
+"""Tests for the capacitive bus power model."""
+
+import pytest
+
+from repro.core import make_codec
+from repro.metrics import count_transitions
+from repro.power import (
+    BusPowerModel,
+    OFF_CHIP_LINE_FARADS,
+    ON_CHIP_LINE_FARADS,
+    bus_energy,
+    bus_power,
+)
+
+
+class TestBusPowerModel:
+    def test_energy_per_transition(self):
+        model = BusPowerModel(vdd=2.0, line_capacitance=1e-12)
+        assert model.energy_per_transition == pytest.approx(0.5 * 1e-12 * 4.0)
+
+    def test_power_from_activity(self):
+        model = BusPowerModel(vdd=3.3, frequency_hz=100e6, line_capacitance=1e-12)
+        single = model.power_from_activity(1.0)
+        assert single == pytest.approx(0.5 * 1e-12 * 3.3**2 * 100e6)
+        assert model.power_from_activity(2.0) == pytest.approx(2 * single)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusPowerModel(vdd=0)
+        with pytest.raises(ValueError):
+            BusPowerModel(frequency_hz=-1)
+        with pytest.raises(ValueError):
+            BusPowerModel(line_capacitance=-1e-12)
+        with pytest.raises(ValueError):
+            BusPowerModel().power_from_activity(-0.1)
+
+    def test_off_chip_dwarfs_on_chip(self):
+        assert OFF_CHIP_LINE_FARADS > 10 * ON_CHIP_LINE_FARADS
+
+
+class TestBusEnergyPower:
+    def test_encoding_savings_translate_to_power(self):
+        """The point of the whole paper: fewer transitions, less power."""
+        stream = [0x400000 + 4 * i for i in range(200)]
+        binary = count_transitions(
+            make_codec("binary", 32).make_encoder().encode_stream(stream), width=32
+        )
+        t0 = count_transitions(
+            make_codec("t0", 32).make_encoder().encode_stream(stream), width=32
+        )
+        model = BusPowerModel(line_capacitance=OFF_CHIP_LINE_FARADS)
+        assert bus_power(t0, model) < bus_power(binary, model)
+        assert bus_energy(t0, model) < bus_energy(binary, model)
+
+    def test_energy_proportional_to_transitions(self):
+        stream = [0, 0xFFFFFFFF] * 10
+        report = count_transitions(
+            make_codec("binary", 32).make_encoder().encode_stream(stream), width=32
+        )
+        model = BusPowerModel(line_capacitance=1e-12)
+        assert bus_energy(report, model) == pytest.approx(
+            report.total * model.energy_per_transition
+        )
+
+    def test_default_model_used_when_omitted(self):
+        stream = [0, 1, 0, 1]
+        report = count_transitions(
+            make_codec("binary", 32).make_encoder().encode_stream(stream), width=32
+        )
+        assert bus_power(report) > 0
+        assert bus_energy(report) > 0

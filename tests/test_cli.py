@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_number_parsed(self):
+        args = build_parser().parse_args(["table", "3", "--length", "100"])
+        assert args.number == 3
+        assert args.length == 100
+
+
+class TestCommands:
+    def test_list_codecs(self, capsys):
+        assert main(["list-codecs"]) == 0
+        out = capsys.readouterr().out
+        assert "t0" in out
+        assert "dualt0bi" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table2_small(self, capsys):
+        assert main(["table", "2", "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out
+        assert "paper" in out
+
+    def test_table_out_of_range(self, capsys):
+        assert main(["table", "12"]) == 1
+        assert "1-9" in capsys.readouterr().err
+
+    def test_analyze_benchmark(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--benchmark",
+                    "gzip",
+                    "--kind",
+                    "instruction",
+                    "--length",
+                    "1500",
+                    "--codecs",
+                    "t0",
+                    "gray",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "t0" in out
+        assert "binary" in out  # reference row always shown
+
+    def test_generate_and_analyze_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.txt"
+        assert (
+            main(
+                [
+                    "generate",
+                    str(path),
+                    "--benchmark",
+                    "jedi",
+                    "--kind",
+                    "data",
+                    "--length",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--trace-file", str(path), "--codecs", "t0"]) == 0
+        assert "jedi.data" in capsys.readouterr().out
+
+    def test_kernel(self, capsys, tmp_path):
+        out_path = tmp_path / "fib.trace"
+        assert main(["kernel", "fibonacci", "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fibonacci.instruction" in out
+        assert out_path.exists()
+
+    def test_sweep_stride(self, capsys):
+        assert main(["sweep", "stride"]) == 0
+        assert "stride" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_timing(self, capsys):
+        assert main(["timing"]) == 0
+        out = capsys.readouterr().out
+        assert "dualt0bi" in out
+        assert "5.36" in out  # paper reference in the title
+
+    def test_power(self, capsys):
+        assert main(["power", "--length", "300", "--codecs", "binary", "t0"]) == 0
+        out = capsys.readouterr().out
+        assert "encoder (mW)" in out
+        assert "t0" in out
+
+    def test_faults(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--length",
+                    "300",
+                    "--injections",
+                    "20",
+                    "--codecs",
+                    "binary",
+                    "t0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean corrupted" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", "--length", "250", "--load-pf", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto front" in out
+        assert "recommendation" in out
+
+    def test_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "results.json"
+        assert (
+            main(
+                [
+                    "export",
+                    str(path),
+                    "--length",
+                    "600",
+                    "--no-power",
+                    "--no-sweeps",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(path.read_text())
+        assert "2" in doc["tables"]

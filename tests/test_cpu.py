@@ -1,0 +1,288 @@
+"""Tests for the CPU functional simulator and the bundled kernels."""
+
+import pytest
+
+from repro.core.base import SEL_DATA, SEL_INSTRUCTION
+from repro.tracegen import layout
+from repro.tracegen.assembler import assemble
+from repro.tracegen.cpu import CPU, CPUError, run_program
+from repro.tracegen.programs import (
+    build_kernel,
+    kernel_names,
+    run_kernel,
+    trace_kernel,
+)
+
+
+def run_source(source, max_steps=100000):
+    return run_program(assemble(source), max_steps=max_steps)
+
+
+class TestBasicExecution:
+    def test_arithmetic(self):
+        result = run_source(
+            """
+            main:
+                addi $t0, $zero, 7
+                addi $t1, $zero, 5
+                add  $v0, $t0, $t1
+                sub  $v1, $t0, $t1
+                halt
+            """
+        )
+        assert result.registers[2] == 12  # $v0
+        assert result.registers[3] == 2  # $v1
+        assert result.halted
+
+    def test_logic_and_shifts(self):
+        result = run_source(
+            """
+            main:
+                addi $t0, $zero, 0xF0
+                andi $t1, $t0, 0x3C
+                ori  $t2, $t0, 0x0F
+                xor  $t3, $t0, $t0
+                sll  $t4, $t0, 4
+                srl  $t5, $t0, 4
+                halt
+            """
+        )
+        regs = result.registers
+        assert regs[9] == 0x30
+        assert regs[10] == 0xFF
+        assert regs[11] == 0
+        assert regs[12] == 0xF00
+        assert regs[13] == 0x0F
+
+    def test_slt_signed(self):
+        result = run_source(
+            """
+            main:
+                addi $t0, $zero, -1
+                addi $t1, $zero, 1
+                slt  $v0, $t0, $t1
+                slt  $v1, $t1, $t0
+                slti $a0, $t0, 0
+                halt
+            """
+        )
+        assert result.registers[2] == 1
+        assert result.registers[3] == 0
+        assert result.registers[4] == 1
+
+    def test_lui(self):
+        result = run_source("main:\n    lui $t0, 0x1001\n    halt")
+        assert result.registers[8] == 0x10010000
+
+    def test_zero_register_immutable(self):
+        result = run_source("main:\n    addi $zero, $zero, 99\n    halt")
+        assert result.registers[0] == 0
+
+    def test_memory_word_roundtrip(self):
+        result = run_source(
+            """
+            .data
+            cell: .word 0
+            .text
+            main:
+                lui  $t0, %hi(cell)
+                ori  $t0, $t0, %lo(cell)
+                addi $t1, $zero, 1234
+                sw   $t1, 0($t0)
+                lw   $v0, 0($t0)
+                halt
+            """
+        )
+        assert result.registers[2] == 1234
+
+    def test_byte_access(self):
+        result = run_source(
+            """
+            .data
+            bytes: .space 4
+            .text
+            main:
+                lui  $t0, %hi(bytes)
+                ori  $t0, $t0, %lo(bytes)
+                addi $t1, $zero, 0xAB
+                sb   $t1, 2($t0)
+                lb   $v0, 2($t0)
+                lw   $v1, 0($t0)
+                halt
+            """
+        )
+        assert result.registers[2] == 0xAB
+        assert result.registers[3] == 0xAB << 16
+
+    def test_data_section_initialised(self):
+        result = run_source(
+            """
+            .data
+            answer: .word 42
+            .text
+            main:
+                lui  $t0, %hi(answer)
+                ori  $t0, $t0, %lo(answer)
+                lw   $v0, 0($t0)
+                halt
+            """
+        )
+        assert result.registers[2] == 42
+
+    def test_call_return(self):
+        result = run_source(
+            """
+            main:
+                jal double
+                halt
+            double:
+                addi $v0, $zero, 11
+                add  $v0, $v0, $v0
+                jr $ra
+            """
+        )
+        assert result.registers[2] == 22
+
+    def test_max_steps_prevents_runaway(self):
+        result = run_source("main:\n    j main", max_steps=100)
+        assert not result.halted
+        assert result.steps == 100
+
+
+class TestCPUErrors:
+    def test_fetch_from_non_code(self):
+        cpu = CPU(assemble("main:\n    j 0x00500000"))
+        cpu.step()
+        with pytest.raises(CPUError):
+            cpu.step()
+
+    def test_unaligned_word_access(self):
+        with pytest.raises(CPUError):
+            run_source(
+                """
+                main:
+                    addi $t0, $zero, 2
+                    lw   $v0, 0($t0)
+                    halt
+                """
+            )
+
+    def test_step_after_halt_is_noop(self):
+        cpu = CPU(assemble("main:\n    halt"))
+        cpu.step()
+        assert cpu.halted
+        before = len(cpu.events)
+        cpu.step()
+        assert len(cpu.events) == before
+
+
+class TestBusEvents:
+    def test_fetch_and_data_events_in_order(self):
+        result = run_source(
+            """
+            main:
+                lw $t0, 0($sp)
+                halt
+            """
+        )
+        kinds = [event.sel for event in result.events]
+        assert kinds == [SEL_INSTRUCTION, SEL_DATA, SEL_INSTRUCTION]
+        assert result.events[0].address == layout.TEXT_BASE
+        assert result.events[1].address == layout.STACK_TOP
+
+    def test_trace_extraction(self):
+        result = run_source(
+            """
+            main:
+                sw $t0, 0($sp)
+                sw $t0, 4($sp)
+                halt
+            """
+        )
+        instruction = result.instruction_trace()
+        data = result.data_trace()
+        multiplexed = result.multiplexed_trace()
+        assert len(instruction) == 3
+        assert len(data) == 2
+        assert len(multiplexed) == 5
+        assert multiplexed.sels is not None
+        # Sub-streams of the multiplexed trace equal the pure traces.
+        assert multiplexed.instruction_slots().addresses == instruction.addresses
+        assert multiplexed.data_slots().addresses == data.addresses
+
+
+class TestKernels:
+    def test_all_kernels_listed(self):
+        assert set(kernel_names()) == {
+            "vector_sum", "memcpy", "matrix_multiply", "string_search",
+            "bubble_sort", "linked_list", "fibonacci", "histogram",
+            "binary_search", "crc32", "quicksort",
+        }
+
+    def test_quicksort_sorts_memory(self):
+        program = build_kernel("quicksort")
+        cpu = CPU(program)
+        cpu.run(5_000_000)
+        assert cpu.halted
+        base = program.symbols["data"]
+        values = [cpu.memory.get(base + 4 * i, 0) for i in range(64)]
+        assert values == sorted(values)
+        assert len(set(values)) > 10  # actually shuffled data, not zeros
+
+    def test_crc32_matches_reference(self):
+        """The CRC kernel agrees bit-for-bit with a host-side computation."""
+        result = run_kernel("crc32")
+        message = bytes(((i * 31 + 7) & 0xFF) for i in range(96))
+        crc = 0xFFFFFFFF
+        for byte in message:
+            crc ^= byte
+            for _ in range(8):
+                crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+        assert result.registers[2] == crc
+
+    def test_binary_search_hop_pattern(self):
+        """The search phase (after the 256 sequential fill stores) produces
+        low-sequentiality, hoppy data traffic."""
+        from repro.metrics import in_sequence_fraction
+
+        _, data, _ = trace_kernel("binary_search")
+        search_phase = data.addresses[256:]
+        assert len(search_phase) > 200
+        assert in_sequence_fraction(search_phase, 4) < 0.2
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            build_kernel("quicksort3000")
+
+    def test_fibonacci_computes_144(self):
+        result = run_kernel("fibonacci")
+        assert result.registers[2] == 144  # fib(12)
+
+    def test_string_search_finds_70_matches(self):
+        result = run_kernel("string_search")
+        assert result.registers[2] == 70
+
+    def test_bubble_sort_sorts_memory(self):
+        program = build_kernel("bubble_sort")
+        base = program.symbols["values"]
+        cpu = CPU(program)
+        cpu.run()
+        assert cpu.halted
+        values = [cpu.memory.get(base + 4 * i, 0) for i in range(48)]
+        assert values == sorted(values)
+        assert any(value != 0 for value in values)
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_every_kernel_halts_and_produces_traces(self, name):
+        instruction, data, multiplexed = trace_kernel(name)
+        assert len(instruction) > 50
+        assert len(multiplexed) == len(instruction) + len(data)
+        stats = instruction.statistics()
+        assert 0.3 < stats.in_sequence < 1.0
+
+    def test_kernels_touch_expected_regions(self):
+        _, data, _ = trace_kernel("fibonacci")
+        # Recursion traffic lives in the stack segment.
+        assert all(a > layout.STACK_TOP - layout.STACK_SPAN for a in data)
+        _, data, _ = trace_kernel("vector_sum")
+        assert all(layout.DATA_BASE <= a < layout.DATA_BASE + layout.DATA_SPAN for a in data)

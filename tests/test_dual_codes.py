@@ -1,0 +1,159 @@
+"""Tests for the SEL-gated codes: dual T0 and dual T0_BI (Sections 3.2/3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    SEL_DATA,
+    SEL_INSTRUCTION,
+    DualT0BIEncoder,
+    DualT0BIDecoder,
+    DualT0Encoder,
+    DualT0Decoder,
+    make_codec,
+    roundtrip_stream,
+)
+from repro.core.word import EncodedWord
+from repro.metrics import count_transitions
+
+address_sel_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=1),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestDualT0Mechanics:
+    def test_reference_register_survives_data_slots(self):
+        """The defining feature: instruction sequentiality is recognised
+        across interleaved data accesses (Equation 9's held register)."""
+        encoder = DualT0Encoder(32, stride=4)
+        encoder.encode(0x400000, SEL_INSTRUCTION)
+        encoder.encode(0x7FFFE000, SEL_DATA)  # interleaved data slot
+        word = encoder.encode(0x400004, SEL_INSTRUCTION)
+        assert word.extras == (1,)  # still recognised as in-sequence
+
+    def test_plain_t0_would_miss_that_pattern(self):
+        from repro.core import T0Encoder
+
+        encoder = T0Encoder(32, stride=4)
+        encoder.encode(0x400000)
+        encoder.encode(0x7FFFE000)
+        word = encoder.encode(0x400004)
+        assert word.extras == (0,)  # broken by the data slot
+
+    def test_data_slots_always_binary(self):
+        encoder = DualT0Encoder(32, stride=4)
+        encoder.encode(0x7FFFE000, SEL_DATA)
+        word = encoder.encode(0x7FFFE004, SEL_DATA)  # sequential but SEL=0
+        assert word.extras == (0,)
+        assert word.bus == 0x7FFFE004
+
+    def test_frozen_bus_holds_last_value_even_after_data(self):
+        encoder = DualT0Encoder(32, stride=4)
+        encoder.encode(0x400000, SEL_INSTRUCTION)
+        data_word = encoder.encode(0x7FFFE000, SEL_DATA)
+        frozen = encoder.encode(0x400004, SEL_INSTRUCTION)
+        assert frozen.bus == data_word.bus  # lines frozen at the data value
+
+    def test_decoder_rejects_inc_before_any_instruction(self):
+        decoder = DualT0Decoder(32, stride=4)
+        with pytest.raises(ValueError):
+            decoder.decode(EncodedWord(0, (1,)), SEL_INSTRUCTION)
+
+    def test_pure_data_stream_equals_binary(self):
+        """Paper Table 6: dual T0 saves exactly nothing on data streams."""
+        rng = random.Random(5)
+        stream = [rng.randrange(1 << 32) for _ in range(500)]
+        codec = make_codec("dualt0", 32)
+        words = codec.make_encoder().encode_stream(stream, [SEL_DATA] * len(stream))
+        for word, address in zip(words, stream):
+            assert word.bus == address
+            assert word.extras == (0,)
+
+
+class TestDualT0BIMechanics:
+    def test_instruction_freeze(self):
+        encoder = DualT0BIEncoder(32, stride=4)
+        encoder.encode(0x400000, SEL_INSTRUCTION)
+        word = encoder.encode(0x400004, SEL_INSTRUCTION)
+        assert word.extras == (1,)
+
+    def test_data_slot_bus_invert(self):
+        encoder = DualT0BIEncoder(32, stride=4)
+        encoder.encode(0x00000000, SEL_DATA)
+        word = encoder.encode(0xFFFFFF00, SEL_DATA)  # H = 24 > 16
+        assert word.extras == (1,)
+        assert word.bus == 0x000000FF
+
+    def test_instruction_slot_never_inverts(self):
+        """INCV on an instruction slot always means 'in sequence'."""
+        encoder = DualT0BIEncoder(32, stride=4)
+        encoder.encode(0x00000000, SEL_INSTRUCTION)
+        word = encoder.encode(0xFFFFFF00, SEL_INSTRUCTION)  # heavy but SEL=1
+        assert word.extras == (0,)
+        assert word.bus == 0xFFFFFF00
+
+    def test_incv_disambiguated_by_sel_in_decoder(self):
+        codec = make_codec("dualt0bi", 32)
+        encoder = codec.make_encoder()
+        decoder = codec.make_decoder()
+        stream = [
+            (0x400000, SEL_INSTRUCTION),
+            (0xFFFFFF00, SEL_DATA),  # inverted, INCV=1
+            (0x400004, SEL_INSTRUCTION),  # frozen, INCV=1
+        ]
+        for address, sel in stream:
+            word = encoder.encode(address, sel)
+            assert decoder.decode(word, sel) == address
+
+    def test_single_redundant_line(self):
+        assert make_codec("dualt0bi", 32).extra_lines == ("INCV",)
+
+    def test_pure_data_stream_equals_bus_invert(self):
+        """Paper Table 6: dual T0_BI degenerates to bus-invert on data."""
+        rng = random.Random(6)
+        stream = [rng.randrange(1 << 32) for _ in range(800)]
+        dual = make_codec("dualt0bi", 32).make_encoder()
+        bi = make_codec("bus-invert", 32).make_encoder()
+        dual_words = dual.encode_stream(stream, [SEL_DATA] * len(stream))
+        bi_words = bi.encode_stream(stream)
+        assert [w.bus for w in dual_words] == [w.bus for w in bi_words]
+        assert [w.extras for w in dual_words] == [w.extras for w in bi_words]
+
+
+class TestDualCodesRoundtrip:
+    @given(address_sel_streams)
+    def test_dualt0_roundtrip(self, pairs):
+        stream = [a for a, _ in pairs]
+        sels = [s for _, s in pairs]
+        roundtrip_stream(make_codec("dualt0", 32), stream, sels)
+
+    @given(address_sel_streams)
+    def test_dualt0bi_roundtrip(self, pairs):
+        stream = [a for a, _ in pairs]
+        sels = [s for _, s in pairs]
+        roundtrip_stream(make_codec("dualt0bi", 32), stream, sels)
+
+    def test_interleaved_sequential_pattern_nearly_silent(self):
+        """I+D interleave with sequential instructions: dual T0 freezes all
+        instruction slots after the first."""
+        codec = make_codec("dualt0", 32)
+        addresses, sels = [], []
+        for i in range(100):
+            addresses.append(0x400000 + 4 * i)
+            sels.append(SEL_INSTRUCTION)
+            addresses.append(0x7FFFE000)  # constant data address
+            sels.append(SEL_DATA)
+        words = codec.make_encoder().encode_stream(addresses, sels)
+        # After warm-up, the repeating pattern is (frozen, same-data):
+        # bus lines never change, only INC toggles once per slot pair.
+        tail = count_transitions(words[4:], width=32)
+        assert tail.bus_transitions == 0
+        assert tail.extra_transitions == tail.total

@@ -1,0 +1,188 @@
+"""Tests for the experiment drivers: paper-table shapes at reduced scale.
+
+The full-scale numbers live in benchmarks/; here we assert at small stream
+lengths that every table builds, renders, and reproduces the paper's
+*qualitative* claims (who wins on which stream class).
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_AVERAGES,
+    compare_with_paper,
+    hierarchy_study,
+    render_sweep,
+    render_table8,
+    render_table9,
+    sequentiality_sweep,
+    simulate_codecs,
+    stride_sweep,
+    table1_text,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+LENGTH = 4000  # reduced scale for unit testing
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return table2(LENGTH)
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3(LENGTH)
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return table4(LENGTH)
+
+
+@pytest.fixture(scope="module")
+def t6():
+    return table6(LENGTH)
+
+
+@pytest.fixture(scope="module")
+def t7():
+    return table7(LENGTH)
+
+
+class TestTable1:
+    def test_renders(self):
+        text = table1_text()
+        assert "Table 1" in text
+        assert "bus-invert" in text
+
+
+class TestStreamTables:
+    def test_table2_shape(self, t2):
+        """Instruction streams: T0 saves a lot, bus-invert nothing."""
+        assert t2.average_savings("t0") > 0.25
+        assert abs(t2.average_savings("bus-invert")) < 0.01
+        assert t2.average_in_sequence() == pytest.approx(0.63, abs=0.06)
+
+    def test_table3_shape(self, t3):
+        """Data streams: bus-invert wins, T0 marginal."""
+        assert t3.average_savings("bus-invert") > t3.average_savings("t0")
+        assert t3.average_savings("t0") < 0.08
+        assert t3.average_savings("bus-invert") > 0.06
+
+    def test_table4_shape(self, t4):
+        """Multiplexed streams: both codes give moderate savings."""
+        assert 0.04 < t4.average_savings("t0") < 0.20
+        assert 0.04 < t4.average_savings("bus-invert") < 0.20
+
+    def test_table5_shape(self):
+        """Instruction streams: mixed codes all track plain T0 (~35 %)."""
+        t5 = table5(LENGTH)
+        for name in ("t0bi", "dualt0", "dualt0bi"):
+            assert t5.average_savings(name) > 0.25
+
+    def test_table6_shape(self, t6):
+        """Data streams: dual T0 saves exactly zero; the BI-bearing codes
+        track bus-invert."""
+        assert t6.average_savings("dualt0") == pytest.approx(0.0, abs=1e-9)
+        assert t6.average_savings("t0bi") > 0.06
+        assert t6.average_savings("dualt0bi") > 0.06
+
+    def test_table7_shape(self, t7):
+        """Multiplexed streams: dual T0_BI is the overall winner — the
+        paper's headline claim."""
+        best = max(
+            ("t0bi", "dualt0", "dualt0bi"), key=t7.average_savings
+        )
+        assert best == "dualt0bi"
+        assert t7.average_savings("dualt0bi") > 0.15
+
+    def test_table7_beats_existing_codes(self, t4, t7):
+        """Dual T0_BI beats both T0 and bus-invert on the same streams."""
+        assert t7.average_savings("dualt0bi") > t4.average_savings("t0")
+        assert t7.average_savings("dualt0bi") > t4.average_savings("bus-invert")
+
+    def test_rows_have_nine_benchmarks(self, t2):
+        assert len(t2.rows) == 9
+
+    def test_render_and_compare(self, t2):
+        assert "gzip" in t2.render()
+        text = compare_with_paper(2, t2)
+        assert "paper" in text
+        assert "63.04%" in text
+
+    def test_paper_averages_table_complete(self):
+        assert set(PAPER_AVERAGES) == {f"table{i}" for i in range(2, 8)}
+
+
+class TestPowerTables:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return simulate_codecs(length=400)
+
+    def test_table8_shape(self, runs):
+        rows = table8(runs)
+        for row in rows:
+            # Binary encoder is the cheapest; dual T0_BI the most expensive.
+            assert row.encoder_mw["binary"] < row.encoder_mw["t0"]
+            assert row.encoder_mw["t0"] < row.encoder_mw["dualt0bi"]
+        # At the smallest load the gap is large; it shrinks with load.
+        first_ratio = rows[0].encoder_mw["dualt0bi"] / rows[0].encoder_mw["t0"]
+        last_ratio = rows[-1].encoder_mw["dualt0bi"] / rows[-1].encoder_mw["t0"]
+        assert first_ratio > 3.0
+        assert last_ratio < first_ratio
+
+    def test_table8_decoders_comparable(self, runs):
+        rows = table8(runs)
+        for row in rows:
+            ratio = row.decoder_mw["dualt0bi"] / row.decoder_mw["t0"]
+            assert 0.4 < ratio < 2.5
+
+    def test_table9_crossover(self, runs):
+        """T0 wins at small off-chip loads, dual T0_BI at large ones."""
+        rows = table9(runs, loads=[20e-12, 200e-12])
+        assert rows[0].best() == "t0"
+        assert rows[-1].best() == "dualt0bi"
+
+    def test_table9_pads_dominate(self, runs):
+        rows = table9(runs, loads=[100e-12])
+        row = rows[0]
+        for name in row.pads_mw:
+            assert row.pads_mw[name] > 0.5 * row.global_mw[name]
+
+    def test_rendering(self, runs):
+        assert "Table 8" in render_table8(table8(runs))
+        assert "Table 9" in render_table9(table9(runs))
+
+
+class TestAblations:
+    def test_stride_sweep_peaks_at_native_stride(self):
+        points = stride_sweep(strides=(1, 4, 16), length=5000)
+        by_stride = {p.parameter: p.savings["t0"] for p in points}
+        assert by_stride[4.0] > by_stride[1.0]
+        assert by_stride[4.0] > by_stride[16.0]
+
+    def test_sequentiality_sweep_monotone_for_t0(self):
+        points = sequentiality_sweep(fractions=(0.1, 0.5, 0.9), length=6000)
+        t0_values = [p.savings["t0"] for p in points]
+        assert t0_values[0] < t0_values[1] < t0_values[2]
+
+    def test_hierarchy_study_structure(self):
+        study = hierarchy_study(length=6000)
+        assert set(study) == {"front", "behind"}
+        # Refill bursts keep the stream highly sequential behind the cache.
+        assert study["behind"]["in_sequence"] > 0.3
+        assert study["behind"]["t0"] > 0.0
+
+    def test_render_sweep(self):
+        points = stride_sweep(strides=(1, 4), length=2000)
+        text = render_sweep(points, "stride", "demo")
+        assert "demo" in text
+        with pytest.raises(ValueError):
+            render_sweep([], "x", "t")

@@ -1,0 +1,81 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.explore import DesignPoint, explore_design_space, pareto_front, recommend
+from repro.tracegen import get_profile, multiplexed_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return multiplexed_trace(get_profile("gzip"), 400)
+
+
+@pytest.fixture(scope="module")
+def points(trace):
+    return explore_design_space(
+        trace, loads=[20e-12, 200e-12], codes=("binary", "t0", "dualt0bi")
+    )
+
+
+class TestExploration:
+    def test_full_grid(self, points):
+        assert len(points) == 6  # 3 codes x 2 loads
+        names = {p.codec_name for p in points}
+        assert names == {"binary", "t0", "dualt0bi"}
+
+    def test_activity_ordering(self, points):
+        by_name = {p.codec_name: p for p in points if p.load_farads == 20e-12}
+        assert by_name["dualt0bi"].bus_activity < by_name["t0"].bus_activity
+        assert by_name["t0"].bus_activity < by_name["binary"].bus_activity
+
+    def test_power_components_consistent(self, points):
+        for point in points:
+            assert point.global_power_w == pytest.approx(
+                point.pad_power_w + point.codec_power_w
+            )
+            assert point.area_gates == point.encoder_gates + point.decoder_gates
+
+    def test_empty_loads_rejected(self, trace):
+        with pytest.raises(ValueError):
+            explore_design_space(trace, loads=[])
+
+
+class TestParetoFront:
+    def test_single_load_required(self, points):
+        with pytest.raises(ValueError):
+            pareto_front(points)  # mixes two loads
+
+    def test_front_is_nondominated(self, points):
+        small = [p for p in points if p.load_farads == 20e-12]
+        front = pareto_front(small)
+        assert front  # never empty
+        for a in front:
+            for b in small:
+                assert not (
+                    b.global_power_w < a.global_power_w
+                    and b.area_gates < a.area_gates
+                )
+
+    def test_binary_always_on_front_at_small_load(self, points):
+        """Binary has minimal area, so it can only be dominated by a code
+        that is simultaneously cheaper in power AND smaller — impossible."""
+        small = [p for p in points if p.load_farads == 20e-12]
+        front = pareto_front(small)
+        assert any(p.codec_name == "binary" for p in front)
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestRecommendation:
+    def test_large_load_prefers_dualt0bi(self, trace):
+        best, margin = recommend(
+            trace, 200e-12, codes=("binary", "t0", "dualt0bi")
+        )
+        assert best.codec_name == "dualt0bi"
+        assert margin > 0
+
+    def test_small_load_avoids_dualt0bi(self, trace):
+        best, _ = recommend(trace, 5e-12, codes=("binary", "t0", "dualt0bi"))
+        assert best.codec_name != "dualt0bi"

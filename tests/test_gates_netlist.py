@@ -1,0 +1,201 @@
+"""Tests for the gate library and the netlist simulator."""
+
+import pytest
+
+from repro.rtl.gates import (
+    ALL_GATES,
+    AND2,
+    BUF,
+    DFF,
+    INV,
+    MUX2,
+    NAND2,
+    NOR2,
+    OR2,
+    XNOR2,
+    XOR2,
+)
+from repro.rtl.netlist import Netlist
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize(
+        "spec,table",
+        [
+            (AND2, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (OR2, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (NAND2, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (NOR2, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (XOR2, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (XNOR2, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_two_input_truth_tables(self, spec, table):
+        for inputs, expected in table.items():
+            assert spec.evaluate(inputs) == expected
+
+    def test_inverter_and_buffer(self):
+        assert INV.evaluate((0,)) == 1
+        assert INV.evaluate((1,)) == 0
+        assert BUF.evaluate((0,)) == 0
+        assert BUF.evaluate((1,)) == 1
+
+    def test_mux(self):
+        # (select, a, b) -> select ? a : b
+        assert MUX2.evaluate((1, 1, 0)) == 1
+        assert MUX2.evaluate((0, 1, 0)) == 0
+
+    def test_library_is_closed(self):
+        assert set(ALL_GATES) == {
+            "INV", "BUF", "AND2", "OR2", "NAND2", "NOR2",
+            "XOR2", "XNOR2", "MUX2", "DFF",
+        }
+        for spec in ALL_GATES.values():
+            assert spec.input_cap > 0
+            assert spec.internal_energy > 0
+
+
+class TestNetlistConstruction:
+    def test_arity_checked(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_gate(AND2, a)  # needs two inputs
+
+    def test_unknown_net_rejected(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.add_gate(INV, 99)
+
+    def test_dff_gate_rejected_via_add_gate(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_gate(DFF, a)
+
+    def test_undriven_flop_fails_validation(self):
+        nl = Netlist()
+        nl.add_dff()
+        with pytest.raises(ValueError):
+            nl.validate()
+
+    def test_double_driven_flop_rejected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        handle, _ = nl.add_dff()
+        nl.drive_dff(handle, a)
+        with pytest.raises(ValueError):
+            nl.drive_dff(handle, a)
+
+    def test_const_nets_shared(self):
+        nl = Netlist()
+        assert nl.const(1) == nl.const(1)
+        assert nl.const(0) != nl.const(1)
+        with pytest.raises(ValueError):
+            nl.const(2)
+
+    def test_counts(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.add_gate(AND2, a, b)
+        handle, _ = nl.add_dff()
+        nl.drive_dff(handle, a)
+        assert nl.gate_count == 1
+        assert nl.flop_count == 1
+        assert len(nl.inputs) == 2
+
+
+class TestSimulation:
+    def test_combinational_logic(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.mark_output(nl.add_gate(XOR2, a, b), "y")
+        result = nl.simulate([[0, 0], [0, 1], [1, 1], [1, 0]])
+        assert [row[0] for row in result.outputs] == [0, 1, 0, 1]
+
+    def test_vector_length_checked(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.simulate([[0, 1]])
+
+    def test_non_binary_input_rejected(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.simulate([[2]])
+
+    def test_dff_delays_by_one_cycle(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        handle, q = nl.add_dff(init=0)
+        nl.drive_dff(handle, a)
+        nl.mark_output(q, "q")
+        result = nl.simulate([[1], [0], [1], [1]])
+        assert [row[0] for row in result.outputs] == [0, 1, 0, 1]
+
+    def test_dff_init_value(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        handle, q = nl.add_dff(init=1)
+        nl.drive_dff(handle, a)
+        nl.mark_output(q, "q")
+        result = nl.simulate([[0], [0]])
+        assert [row[0] for row in result.outputs] == [1, 0]
+
+    def test_feedback_counter(self):
+        """A 1-bit toggle flop: q' = ~q."""
+        nl = Netlist()
+        handle, q = nl.add_dff(init=0)
+        nl.drive_dff(handle, nl.add_gate(INV, q))
+        nl.mark_output(q, "q")
+        result = nl.simulate([[]] * 6)
+        assert [row[0] for row in result.outputs] == [0, 1, 0, 1, 0, 1]
+
+    def test_toggle_counting(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        y = nl.add_gate(BUF, a)
+        nl.mark_output(y, "y")
+        result = nl.simulate([[0], [1], [1], [0]])
+        # a toggles twice; y follows.
+        assert result.net_toggles[a] == 2
+        assert result.net_toggles[y] == 2
+
+    def test_constant_one_net_value(self):
+        nl = Netlist()
+        one = nl.const(1)
+        nl.mark_output(nl.add_gate(BUF, one), "y")
+        result = nl.simulate([[], []])
+        assert all(row[0] == 1 for row in result.outputs)
+        assert result.net_toggles[one] == 0
+
+    def test_net_loads_include_fanout_and_output_load(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate(INV, a)
+        nl.add_gate(INV, a)
+        y = nl.add_gate(BUF, a)
+        nl.mark_output(y, "y")
+        loads = nl.net_loads(output_load=1e-12)
+        assert loads[a] == pytest.approx(2 * INV.input_cap + BUF.input_cap)
+        assert loads[y] == pytest.approx(BUF.intrinsic_cap + 1e-12)
+
+    def test_combinational_depths(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_gate(INV, a)
+        c = nl.add_gate(INV, b)
+        depths = nl.combinational_depths()
+        assert depths[a] == 0
+        assert depths[b] == 1
+        assert depths[c] == 2
+
+    def test_output_words(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.mark_output(nl.add_gate(INV, a), "ny")
+        result = nl.simulate([[0], [1]])
+        assert result.output_words() == [{"ny": 1}, {"ny": 0}]

@@ -1,0 +1,65 @@
+"""Golden regression gate.
+
+Every change to the encoders, the trace generators or the metrics must
+reproduce the exact nine-benchmark averages recorded in
+``tests/golden/table_averages.json`` (generated at stream length 3000).
+Everything in the pipeline is deterministic, so the tolerance is exact to
+floating-point rounding; a legitimate behaviour change requires
+regenerating the golden file *deliberately*:
+
+    python -c "import tests.test_golden_regression as g; g.regenerate()"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import TABLE_BUILDERS
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "table_averages.json"
+
+
+def _current(length: int):
+    snapshot = {}
+    for table_id, builder in TABLE_BUILDERS.items():
+        table = builder(length)
+        snapshot[str(table_id)] = {
+            "in_sequence": round(table.average_in_sequence(), 6),
+            **{
+                name: round(table.average_savings(name), 6)
+                for name in table.codec_names
+            },
+        }
+    return snapshot
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    golden = {"stream_length": 3000, "tables": _current(3000)}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_exists(golden):
+    assert set(golden["tables"]) == {str(i) for i in range(2, 8)}
+
+
+def test_tables_match_golden_exactly(golden):
+    current = _current(golden["stream_length"])
+    mismatches = []
+    for table_id, expected in golden["tables"].items():
+        for key, value in expected.items():
+            measured = current[table_id][key]
+            if abs(measured - value) > 1e-6:
+                mismatches.append(
+                    f"table {table_id} / {key}: golden {value} != {measured}"
+                )
+    assert not mismatches, (
+        "pipeline output drifted from the golden snapshot:\n  "
+        + "\n  ".join(mismatches)
+        + "\nif the change is intentional, regenerate tests/golden/"
+    )

@@ -1,0 +1,93 @@
+"""Tests for the unified-L2 hierarchy study."""
+
+import pytest
+
+from repro.core.base import SEL_DATA, SEL_INSTRUCTION
+from repro.memory import CacheConfig, HierarchyConfig, unified_l2_trace
+from repro.tracegen import AddressTrace, get_profile, multiplexed_trace
+
+
+@pytest.fixture(scope="module")
+def core_trace():
+    return multiplexed_trace(get_profile("gzip"), 8000)
+
+
+class TestUnifiedL2:
+    def test_split_caches_filter_both_sides(self, core_trace):
+        result = unified_l2_trace(core_trace)
+        assert 0.0 < result.l1i_hit_rate < 1.0
+        assert 0.0 < result.l1d_hit_rate < 1.0
+        assert result.core_cycles == len(core_trace)
+
+    def test_refill_bursts_are_line_aligned_and_sequential(self, core_trace):
+        config = HierarchyConfig(
+            l1i=CacheConfig(size_bytes=2048, line_bytes=16, ways=1),
+            l1d=CacheConfig(size_bytes=2048, line_bytes=16, ways=1),
+        )
+        result = unified_l2_trace(core_trace, config)
+        trace = result.l2_trace
+        # Every refill starts line-aligned and runs 4 words.
+        index = 0
+        while index < len(trace):
+            assert trace.addresses[index] % 16 == 0
+            for offset in range(1, 4):
+                assert (
+                    trace.addresses[index + offset]
+                    == trace.addresses[index] + 4 * offset
+                )
+                assert trace.sels[index + offset] == trace.sels[index]
+            index += 4
+
+    def test_no_refill_mode(self, core_trace):
+        config = HierarchyConfig(refill_bursts=False)
+        result = unified_l2_trace(core_trace, config)
+        # One bus cycle per miss, no amplification.
+        assert result.traffic_ratio < 1.0
+
+    def test_l2_bus_carries_both_sides(self, core_trace):
+        result = unified_l2_trace(core_trace)
+        sels = set(result.l2_trace.sels)
+        assert sels == {SEL_INSTRUCTION, SEL_DATA}
+
+    def test_bigger_l1_means_less_l2_traffic(self, core_trace):
+        small = unified_l2_trace(
+            core_trace,
+            HierarchyConfig(
+                l1i=CacheConfig(size_bytes=1024, line_bytes=16, ways=1),
+                l1d=CacheConfig(size_bytes=1024, line_bytes=16, ways=1),
+            ),
+        )
+        large = unified_l2_trace(
+            core_trace,
+            HierarchyConfig(
+                l1i=CacheConfig(size_bytes=16384, line_bytes=16, ways=2),
+                l1d=CacheConfig(size_bytes=16384, line_bytes=16, ways=2),
+            ),
+        )
+        assert len(large.l2_trace) < len(small.l2_trace)
+        assert large.l1i_hit_rate > small.l1i_hit_rate
+
+    def test_perfectly_cacheable_loop_vanishes(self):
+        loop = tuple(0x40_0000 + 4 * (i % 8) for i in range(2000))
+        trace = AddressTrace(
+            "loop", loop, sels=(1,) * 2000, kind="multiplexed"
+        )
+        result = unified_l2_trace(trace)
+        assert len(result.l2_trace) <= 8  # two cold lines' refills
+
+    def test_t0_family_effective_on_l2_bus(self, core_trace):
+        """The refill-dominated unified bus is highly sequential; the
+        combined codes keep most of their savings there (paper Section 3.1's
+        deployment target)."""
+        from repro.core import make_codec
+        from repro.metrics import compare_codecs
+
+        result = unified_l2_trace(core_trace)
+        trace = result.l2_trace
+        row = compare_codecs(
+            [make_codec("t0", 32), make_codec("t0bi", 32)],
+            trace.addresses,
+            trace.sels,
+        )
+        assert row.result("t0").savings > 0.2
+        assert row.result("t0bi").savings > 0.2

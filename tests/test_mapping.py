@@ -1,0 +1,122 @@
+"""Tests for the Panda–Dutt style memory-mapping baseline."""
+
+import random
+
+import pytest
+
+from repro.mapping import (
+    AccessGraph,
+    assign_addresses,
+    declaration_order_layout,
+    evaluate_layout,
+    optimize_layout,
+)
+
+
+def alternating_accesses(count=200):
+    """Two variables accessed alternately — the easiest win for mapping."""
+    return ["a" if i % 2 == 0 else "b" for i in range(count)]
+
+
+class TestAccessGraph:
+    def test_weights(self):
+        graph = AccessGraph.from_sequence(["a", "b", "a", "c", "b"])
+        assert graph.weight("a", "b") == 2
+        assert graph.weight("b", "a") == 2  # symmetric
+        assert graph.weight("a", "c") == 1
+        assert graph.weight("b", "c") == 1
+        assert graph.weight("a", "a") == 0
+
+    def test_self_transitions_ignored(self):
+        graph = AccessGraph.from_sequence(["a", "a", "a", "b"])
+        assert graph.weight("a", "a") == 0
+        assert graph.weight("a", "b") == 1
+
+    def test_variable_order_is_first_seen(self):
+        graph = AccessGraph.from_sequence(["z", "a", "z", "m"])
+        assert graph.variables == ["z", "a", "m"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AccessGraph.from_sequence([])
+
+
+class TestAssignment:
+    def test_sequential_mode(self):
+        addresses = assign_addresses(["x", "y"], base=0x1000, mode="sequential")
+        assert addresses == {"x": 0x1000, "y": 0x1004}
+
+    def test_gray_mode_neighbours_one_wire_apart(self):
+        order = [f"v{i}" for i in range(8)]
+        addresses = assign_addresses(order, base=0, mode="gray")
+        for a, b in zip(order, order[1:]):
+            assert bin((addresses[a] // 4) ^ (addresses[b] // 4)).count("1") == 1
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            assign_addresses(["x"], mode="random")
+
+
+class TestEvaluate:
+    def test_known_cost(self):
+        layout_map = {"a": 0b000, "b": 0b011}
+        assert evaluate_layout(["a", "b", "a"], layout_map) == 4
+
+    def test_missing_variable(self):
+        with pytest.raises(KeyError):
+            evaluate_layout(["a", "ghost"], {"a": 0})
+
+
+class TestOptimizeLayout:
+    def test_improves_on_alternating_pattern(self):
+        """Place the two hot variables adjacently: large win over a layout
+        that happens to separate them."""
+        accesses = alternating_accesses()
+        # Poison the baseline by padding unrelated variables between a and b.
+        accesses = ["a"] + [f"pad{i}" for i in range(6)] + accesses
+        result = optimize_layout(accesses)
+        assert result.transitions <= result.baseline_transitions
+        assert result.savings >= 0.0
+
+    def test_covers_all_variables(self):
+        rng = random.Random(0)
+        names = [f"v{i}" for i in range(20)]
+        accesses = [rng.choice(names) for _ in range(500)]
+        result = optimize_layout(accesses)
+        assert set(result.addresses) == set(accesses)
+        assert sorted(result.order) == sorted(set(accesses))
+
+    def test_distinct_addresses(self):
+        rng = random.Random(1)
+        names = [f"v{i}" for i in range(15)]
+        accesses = [rng.choice(names) for _ in range(300)]
+        result = optimize_layout(accesses)
+        values = list(result.addresses.values())
+        assert len(values) == len(set(values))
+
+    def test_hot_pair_placed_adjacently(self):
+        accesses = alternating_accesses(100) + ["c", "d", "e"]
+        result = optimize_layout(accesses, mode="sequential")
+        position = {name: i for i, name in enumerate(result.order)}
+        assert abs(position["a"] - position["b"]) == 1
+
+    def test_gray_beats_or_ties_declaration_order_on_clustered_traffic(self):
+        rng = random.Random(3)
+        clusters = [["a", "b"], ["c", "d"], ["e", "f"]]
+        accesses = []
+        for _ in range(300):
+            cluster = rng.choice(clusters)
+            accesses.extend(cluster)
+        result = optimize_layout(accesses)
+        assert result.transitions <= result.baseline_transitions
+
+    def test_single_variable(self):
+        result = optimize_layout(["only"] * 10)
+        assert result.transitions == 0
+        assert result.savings == 0.0
+
+
+class TestDeclarationOrder:
+    def test_first_use_order(self):
+        layout_map = declaration_order_layout(["c", "a", "c", "b"], base=0)
+        assert layout_map == {"c": 0, "a": 4, "b": 8}

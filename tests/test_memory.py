@@ -1,0 +1,188 @@
+"""Tests for main memory, the encoded-bus memory system and the caches."""
+
+import pytest
+
+from repro.core import available_codecs, make_codec
+from repro.core.base import SEL_DATA, SEL_INSTRUCTION
+from repro.memory import (
+    Cache,
+    CacheConfig,
+    MainMemory,
+    build_system,
+    filter_trace,
+)
+from repro.tracegen import sequential_stream, synthetic_instruction_stream
+
+
+class TestMainMemory:
+    def test_default_zero(self):
+        assert MainMemory().load(0x1000) == 0
+
+    def test_store_load(self):
+        memory = MainMemory()
+        memory.store(0x2000, 0xDEADBEEF)
+        assert memory.load(0x2000) == 0xDEADBEEF
+
+    def test_unaligned_rejected(self):
+        memory = MainMemory()
+        with pytest.raises(ValueError):
+            memory.load(0x1001)
+        with pytest.raises(ValueError):
+            memory.store(0x1002, 1)
+        with pytest.raises(ValueError):
+            memory.load(-4)
+
+    def test_image_constructor(self):
+        memory = MainMemory({0x100: 7})
+        assert memory.load(0x100) == 7
+        assert len(memory) == 1
+
+    def test_values_masked_to_word(self):
+        memory = MainMemory()
+        memory.store(0, 1 << 40)
+        assert memory.load(0) == 0
+
+
+class TestEncodedMemorySystem:
+    @pytest.mark.parametrize(
+        "name", [n for n in available_codecs() if n != "beach"]
+    )
+    def test_write_read_roundtrip_through_encoded_bus(self, name):
+        """The paper's deployment model, end to end, for every code."""
+        codec = make_codec(name, 32)
+        bus, controller = build_system(codec)
+        addresses = [0x10010000 + 4 * i for i in range(20)]
+        addresses += [0x7FFFE000, 0x10010004, 0x7FFFE004]
+        expected = {}
+        for index, address in enumerate(addresses):
+            bus.write(address, index * 3 + 1, SEL_DATA)
+            expected[address] = index * 3 + 1
+        # Independent verification against the raw memory (no bus).
+        for address, value in expected.items():
+            assert controller.memory.load(address) == value
+        # Read back across the bus as well.
+        for address, value in expected.items():
+            assert bus.read(address, SEL_DATA) == value
+
+    def test_activity_accounting(self):
+        codec = make_codec("t0", 32)
+        bus, _ = build_system(codec)
+        for i in range(100):
+            bus.write(0x1000 + 4 * i, i, SEL_INSTRUCTION)
+        assert bus.activity.cycles == 99
+        # Sequential stream under T0: almost silent.
+        assert bus.activity.transitions <= 2
+
+    def test_t0_bus_quieter_than_binary_bus(self):
+        addresses = list(sequential_stream(200).addresses)
+        def total(name):
+            bus, _ = build_system(make_codec(name, 32))
+            for address in addresses:
+                bus.write(address, 1, SEL_INSTRUCTION)
+            return bus.activity.transitions
+        assert total("t0") < total("binary") / 10
+
+    def test_reset(self):
+        bus, _ = build_system(make_codec("t0", 32))
+        bus.write(0x1000, 1)
+        bus.reset()
+        assert bus.activity.transitions == 0
+        assert bus.activity.cycles == 0
+        assert bus.activity.per_cycle == 0.0
+
+
+class TestCache:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000)  # not a power of two
+        with pytest.raises(ValueError):
+            CacheConfig(ways=0)
+
+    def test_sets_geometry(self):
+        config = CacheConfig(size_bytes=8192, line_bytes=16, ways=2)
+        assert config.sets == 256
+
+    def test_hit_after_miss(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16, ways=1))
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x10C)  # same line
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        # Direct-mapped 2-set cache: addresses 0x00 and 0x20 collide.
+        cache = Cache(CacheConfig(size_bytes=32, line_bytes=16, ways=1))
+        cache.access(0x00)
+        cache.access(0x20)  # evicts 0x00
+        assert not cache.access(0x00)
+
+    def test_associativity_prevents_conflict(self):
+        cache = Cache(CacheConfig(size_bytes=64, line_bytes=16, ways=2))
+        cache.access(0x00)
+        cache.access(0x40)  # same set, second way
+        assert cache.access(0x00)
+        assert cache.access(0x40)
+
+    def test_lru_order_updated_on_hit(self):
+        cache = Cache(CacheConfig(size_bytes=64, line_bytes=16, ways=2))
+        cache.access(0x00)
+        cache.access(0x40)
+        cache.access(0x00)  # touch 0x00: now 0x40 is LRU
+        cache.access(0x80)  # evicts 0x40
+        assert cache.access(0x00)
+        assert not cache.access(0x40)
+
+    def test_probe_does_not_disturb(self):
+        cache = Cache()
+        cache.access(0x100)
+        accesses = cache.stats.accesses
+        assert cache.probe(0x100)
+        assert not cache.probe(0x9999000)
+        assert cache.stats.accesses == accesses
+
+    def test_reset(self):
+        cache = Cache()
+        cache.access(0x100)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.probe(0x100)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Cache().access(-4)
+
+
+class TestFilterTrace:
+    def test_sequential_stream_filtered_to_line_bursts(self):
+        trace = sequential_stream(256, start=0x40_0000)
+        cache = Cache(CacheConfig(size_bytes=512, line_bytes=16, ways=1))
+        behind = filter_trace(trace, cache)
+        # Cold misses once per 16-byte line; each miss refills 4 words.
+        assert len(behind) == len(trace)  # 64 misses * 4 words = 256... every line missed once
+        assert behind.statistics().in_sequence > 0.7
+
+    def test_hot_loop_absorbed(self):
+        """A loop fitting in the cache vanishes from the bus behind it."""
+        loop = [0x40_0000 + 4 * (i % 16) for i in range(1000)]
+        from repro.tracegen import AddressTrace
+
+        trace = AddressTrace("loop", tuple(loop))
+        behind = filter_trace(trace, Cache())
+        assert len(behind) < 40  # only the cold misses remain
+
+    def test_no_allocate_mode(self):
+        trace = sequential_stream(64, start=0)
+        behind = filter_trace(
+            trace,
+            Cache(CacheConfig(size_bytes=256, line_bytes=16, ways=1)),
+            refill_bursts=False,
+        )
+        # One address per missing line, not a burst.
+        assert len(behind) == 16
+
+    def test_kind_preserved_for_pure_traces(self):
+        trace = synthetic_instruction_stream(500, seed=1)
+        behind = filter_trace(trace, Cache())
+        assert behind.kind == "instruction"
+        assert behind.name.endswith("behind-cache")

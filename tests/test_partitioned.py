@@ -1,0 +1,102 @@
+"""Tests for partitioned bus-invert."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import make_codec, roundtrip_stream
+from repro.core.partitioned import (
+    PartitionedBusInvertDecoder,
+    PartitionedBusInvertEncoder,
+    partition_bounds,
+)
+from repro.core.word import EncodedWord
+from repro.metrics import count_transitions
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        assert partition_bounds(32, 4) == [(0, 8), (8, 8), (16, 8), (24, 8)]
+
+    def test_uneven_split_front_loads_remainder(self):
+        assert partition_bounds(10, 3) == [(0, 4), (4, 3), (7, 3)]
+
+    def test_covers_whole_bus(self):
+        for width in (8, 10, 32, 33):
+            for partitions in (1, 2, 3, 5):
+                if partitions > width:
+                    continue
+                bounds = partition_bounds(width, partitions)
+                assert sum(size for _, size in bounds) == width
+                assert bounds[0][0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_bounds(8, 0)
+        with pytest.raises(ValueError):
+            partition_bounds(4, 8)
+
+
+class TestPartitionedBusInvert:
+    def test_single_partition_equals_bus_invert(self):
+        rng = random.Random(1)
+        stream = [rng.randrange(1 << 32) for _ in range(400)]
+        pbi = make_codec("pbi", 32, partitions=1).make_encoder().encode_stream(stream)
+        bi = make_codec("bus-invert", 32).make_encoder().encode_stream(stream)
+        assert [w.bus for w in pbi] == [w.bus for w in bi]
+        assert [w.extras[0] for w in pbi] == [w.extras[0] for w in bi]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=150),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_roundtrip(self, stream, partitions):
+        roundtrip_stream(make_codec("pbi", 32, partitions=partitions), stream)
+
+    def test_extra_line_names(self):
+        codec = make_codec("pbi", 32, partitions=4)
+        assert codec.extra_lines == ("INV0", "INV1", "INV2", "INV3")
+
+    def test_partition_votes_independent(self):
+        """A heavy swing confined to the top byte inverts only that
+        partition."""
+        encoder = PartitionedBusInvertEncoder(32, partitions=4)
+        encoder.encode(0x00000000)
+        word = encoder.encode(0xFE000000)  # 7 ones, all in partition 3
+        assert word.extras == (0, 0, 0, 1)
+
+    def test_beats_global_vote_on_coherent_high_half(self):
+        """Stack<->heap alternation flips the high half coherently; the
+        partitioned vote fires where the global one stalls."""
+        rng = random.Random(2)
+        stream = []
+        for _ in range(500):
+            base = rng.choice([0x7FFFE000, 0x10010000])
+            stream.append(base + 4 * rng.randrange(64))
+        pbi = make_codec("pbi", 32, partitions=4).make_encoder().encode_stream(stream)
+        bi = make_codec("bus-invert", 32).make_encoder().encode_stream(stream)
+        pbi_total = count_transitions(pbi, width=32).total
+        bi_total = count_transitions(bi, width=32).total
+        assert pbi_total < bi_total
+
+    def test_per_partition_bound(self):
+        """Each partition obeys bus-invert's ceil((k+1)/2) bound."""
+        rng = random.Random(3)
+        encoder = PartitionedBusInvertEncoder(32, partitions=4)
+        previous = None
+        for _ in range(300):
+            word = encoder.encode(rng.randrange(1 << 32))
+            if previous is not None:
+                for index, (low, size) in enumerate(partition_bounds(32, 4)):
+                    mask = ((1 << size) - 1) << low
+                    flips = bin((word.bus ^ previous.bus) & mask).count("1")
+                    flips += word.extras[index] ^ previous.extras[index]
+                    assert flips <= (size + 1 + 1) // 2
+            previous = word
+
+    def test_decoder_validates_extra_count(self):
+        decoder = PartitionedBusInvertDecoder(32, partitions=4)
+        with pytest.raises(ValueError):
+            decoder.decode(EncodedWord(0, (1,)))

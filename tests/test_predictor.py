@@ -1,0 +1,122 @@
+"""Tests for the first-order savings predictors."""
+
+import random
+
+import pytest
+
+from repro.core import make_codec
+from repro.metrics import compare_codecs
+from repro.power import (
+    StreamModel,
+    bus_invert_random_transitions,
+    hamming_step_histogram,
+    predict_bus_invert_random,
+    predict_bus_invert_savings,
+    predict_gray_savings,
+    predict_t0_savings,
+)
+from repro.tracegen import (
+    BENCHMARKS,
+    data_trace,
+    instruction_trace,
+    random_stream,
+    sequential_stream,
+)
+
+
+class TestStreamModel:
+    def test_from_sequential_stream(self):
+        model = StreamModel.from_stream(sequential_stream(100).addresses)
+        assert model.in_sequence == 1.0
+        assert model.jump_hamming == 0.0
+        assert model.multi_runs_per_step == pytest.approx(1 / 99)
+
+    def test_from_random_stream(self):
+        model = StreamModel.from_stream(random_stream(2000, seed=1).addresses)
+        assert model.in_sequence < 0.01
+        assert model.jump_hamming == pytest.approx(16.0, abs=0.5)
+
+    def test_binary_cost(self):
+        model = StreamModel(0.5, 10.0, 0.05)
+        assert model.binary_transitions_per_step == pytest.approx(
+            0.5 * 2.0 + 0.5 * 10.0
+        )
+
+
+class TestT0Predictor:
+    @pytest.mark.parametrize("profile", BENCHMARKS[:5], ids=lambda p: p.name)
+    def test_within_two_points_of_measured(self, profile):
+        trace = instruction_trace(profile, 10000)
+        model = StreamModel.from_stream(trace.addresses)
+        predicted = predict_t0_savings(model)
+        measured = compare_codecs(
+            [make_codec("t0", 32)], trace.addresses
+        ).result("t0").savings
+        assert abs(predicted - measured) < 0.02
+
+    def test_sequential_limit(self):
+        model = StreamModel(1.0, 0.0, 0.0)
+        assert predict_t0_savings(model) == pytest.approx(1.0)
+
+    def test_random_limit(self):
+        model = StreamModel(0.0, 16.0, 0.0)
+        assert predict_t0_savings(model) == 0.0
+
+    def test_degenerate_zero_cost(self):
+        assert predict_t0_savings(StreamModel(0.0, 0.0, 0.0)) == 0.0
+
+    def test_inc_overhead_never_negative(self):
+        # Pathological: every run is length 2 — INC toggles eat the gains.
+        model = StreamModel(0.5, 2.0, 0.5)
+        assert predict_t0_savings(model) >= 0.0
+
+
+class TestGrayPredictor:
+    @pytest.mark.parametrize("profile", BENCHMARKS[:3], ids=lambda p: p.name)
+    def test_conservative_underestimate(self, profile):
+        """The first-order Gray model ignores the local-jump discount, so it
+        must land at or below the measured savings, within ~6 points."""
+        trace = instruction_trace(profile, 10000)
+        model = StreamModel.from_stream(trace.addresses)
+        predicted = predict_gray_savings(model)
+        measured = compare_codecs(
+            [make_codec("gray", 32, stride=4)], trace.addresses
+        ).result("gray").savings
+        assert predicted <= measured + 0.01
+        assert measured - predicted < 0.06
+
+
+class TestBusInvertPredictor:
+    @pytest.mark.parametrize("profile", BENCHMARKS[:5], ids=lambda p: p.name)
+    def test_matches_measured_on_data_streams(self, profile):
+        trace = data_trace(profile, 10000)
+        histogram = hamming_step_histogram(trace.addresses)
+        predicted = predict_bus_invert_savings(histogram, 32)
+        measured = compare_codecs(
+            [make_codec("bus-invert", 32)], trace.addresses
+        ).result("bus-invert").savings
+        assert abs(predicted - measured) < 0.02
+
+    def test_histogram_counts_every_step(self):
+        stream = [0b00, 0b01, 0b11, 0b11]
+        histogram = hamming_step_histogram(stream)
+        assert histogram == {1: 2, 0: 1}
+
+    def test_empty_histogram(self):
+        assert predict_bus_invert_savings({}, 32) == 0.0
+        assert predict_bus_invert_savings({0: 10}, 32) == 0.0
+
+    def test_random_closed_form_consistent(self):
+        """predict_bus_invert_random agrees with the Table 1 lambda."""
+        for width in (8, 16, 32):
+            expected = 1.0 - bus_invert_random_transitions(width) / (width / 2)
+            assert predict_bus_invert_random(width) == pytest.approx(expected)
+
+    def test_monte_carlo_random(self):
+        rng = random.Random(4)
+        stream = [rng.randrange(1 << 16) for _ in range(4000)]
+        histogram = hamming_step_histogram(stream)
+        predicted = predict_bus_invert_savings(histogram, 16)
+        assert predicted == pytest.approx(
+            predict_bus_invert_random(16), abs=0.02
+        )

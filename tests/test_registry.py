@@ -1,0 +1,92 @@
+"""Tests for the codec registry and the stream helpers."""
+
+import pytest
+
+from repro.core import (
+    Codec,
+    RoundTripError,
+    available_codecs,
+    decode_stream,
+    encode_stream,
+    make_codec,
+    register_codec,
+    roundtrip_stream,
+)
+from repro.core.binary import BinaryDecoder, BinaryEncoder
+from repro.core.word import EncodedWord
+
+
+class TestRegistry:
+    def test_all_expected_codecs_registered(self):
+        names = available_codecs()
+        for expected in (
+            "binary",
+            "gray",
+            "bus-invert",
+            "t0",
+            "t0bi",
+            "dualt0",
+            "dualt0bi",
+            "offset",
+            "inc-xor",
+            "wze",
+            "beach",
+        ):
+            assert expected in names
+
+    def test_unknown_codec_raises_with_listing(self):
+        with pytest.raises(KeyError, match="binary"):
+            make_codec("nonsense")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_codec("binary")(lambda width: None)  # type: ignore[arg-type]
+
+    def test_params_recorded(self):
+        codec = make_codec("t0", 32, stride=8)
+        assert codec.params == {"stride": 8}
+
+    def test_fresh_instances_per_factory_call(self):
+        codec = make_codec("t0", 32)
+        one = codec.make_encoder()
+        two = codec.make_encoder()
+        one.encode(0x1000)
+        # `two` must not share state with `one`.
+        assert two.encode(0x1004).extras == (0,)
+
+    def test_extra_lines_property(self):
+        assert make_codec("binary", 32).extra_lines == ()
+        assert make_codec("t0bi", 32).extra_lines == ("INC", "INV")
+
+
+class TestStreamHelpers:
+    def test_encode_decode_stream(self):
+        codec = make_codec("t0", 32)
+        stream = [0x100, 0x104, 0x108, 0x200]
+        words = encode_stream(codec, stream)
+        assert decode_stream(codec, words) == stream
+
+    def test_roundtrip_stream_detects_corruption(self):
+        broken = Codec(
+            name="broken",
+            width=32,
+            encoder_factory=lambda: BinaryEncoder(32),
+            decoder_factory=lambda: _OffByOneDecoder(32),
+        )
+        with pytest.raises(RoundTripError) as excinfo:
+            roundtrip_stream(broken, [1, 2, 3])
+        assert excinfo.value.codec_name == "broken"
+        assert excinfo.value.index == 0
+
+    def test_encoders_validate_width(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(0)
+
+    def test_codec_repr_mentions_params(self):
+        codec = make_codec("t0", 32, stride=8)
+        assert "stride=8" in repr(codec)
+
+
+class _OffByOneDecoder(BinaryDecoder):
+    def decode(self, word: EncodedWord, sel: int = 1) -> int:
+        return (super().decode(word, sel) + 1) & 0xFFFFFFFF

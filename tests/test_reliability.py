@@ -1,0 +1,155 @@
+"""Tests for fault injection and error-propagation measurement."""
+
+import pytest
+
+from repro.core import make_codec
+from repro.core.word import EncodedWord
+from repro.reliability import (
+    error_propagation,
+    flip_line,
+    run_fault_campaign,
+)
+from repro.tracegen import get_profile, multiplexed_trace, sequential_stream
+
+
+class TestFlipLine:
+    def test_flips_address_line(self):
+        word = EncodedWord(0b1010, (1,))
+        flipped = flip_line(word, 0, width=4)
+        assert flipped.bus == 0b1011
+        assert flipped.extras == (1,)
+
+    def test_flips_redundant_line(self):
+        word = EncodedWord(0b1010, (1, 0))
+        flipped = flip_line(word, 5, width=4)  # second extra
+        assert flipped.bus == 0b1010
+        assert flipped.extras == (1, 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_line(EncodedWord(0, (1,)), 33, width=32)
+        with pytest.raises(ValueError):
+            flip_line(EncodedWord(0), -1, width=32)
+
+    def test_involution(self):
+        word = EncodedWord(0xDEAD, (0, 1))
+        for line in (0, 7, 16, 17):
+            assert flip_line(flip_line(word, line, 16), line, 16) == word
+
+
+class TestErrorPropagation:
+    def test_binary_corrupts_exactly_one_cycle(self):
+        stream = list(sequential_stream(100).addresses)
+        result = error_propagation(make_codec("binary", 32), stream, None, 50, 3)
+        assert result.corrupted_cycles == 1
+        assert result.first_error_cycle == 50
+        assert not result.detected
+
+    def test_bus_invert_corrupts_one_cycle(self):
+        stream = list(sequential_stream(100).addresses)
+        result = error_propagation(
+            make_codec("bus-invert", 32), stream, None, 40, 32
+        )  # flip the INV wire itself
+        assert result.corrupted_cycles == 1
+        assert not result.detected
+
+    def test_t0_inc_flip_desynchronises_run(self):
+        """Flipping INC mid-run corrupts the rest of the sequential run:
+        the decoder's register walks off by one stride."""
+        stream = list(sequential_stream(100).addresses)
+        result = error_propagation(
+            make_codec("t0", 32), stream, None, 50, 32
+        )  # INC wire
+        assert result.corrupted_cycles > 10
+
+    def test_t0_resynchronises_at_next_binary_word(self):
+        """A jump (binary transmission) resynchronises the T0 decoder."""
+        stream = [0x1000 + 4 * i for i in range(20)]
+        stream += [0x90000000]  # jump: transmitted binary
+        stream += [0x90000000 + 4 * (i + 1) for i in range(20)]
+        result = error_propagation(make_codec("t0", 32), stream, None, 5, 32)
+        assert result.corrupted_cycles <= 16  # confined to the first run
+
+    def test_offset_never_resynchronises(self):
+        """The offset code integrates: one flip corrupts everything after."""
+        stream = list(sequential_stream(200).addresses)
+        result = error_propagation(make_codec("offset", 32), stream, None, 50, 7)
+        assert result.corrupted_cycles == 150  # every cycle from the flip on
+
+    def test_masked_fault_possible(self):
+        """Flipping a frozen line during a T0 run is invisible: the decoder
+        ignores the bus while INC is high."""
+        stream = list(sequential_stream(100).addresses)
+        result = error_propagation(
+            make_codec("t0", 32), stream, None, 50, 31
+        )  # top address line mid-run, while frozen
+        assert result.corrupted_cycles == 0
+        assert not result.detected
+
+    def test_wze_detects_double_toggle(self):
+        """Flipping a second line during a working-zone hit violates the
+        one-toggle invariant — the decoder raises (detected fault)."""
+        stream = [0x10010000 + 4 * i for i in range(50)]
+        result = error_propagation(make_codec("wze", 32), stream, None, 25, 20)
+        assert result.detected
+
+    def test_cycle_validation(self):
+        with pytest.raises(ValueError):
+            error_propagation(make_codec("binary", 32), [1, 2], None, 5, 0)
+
+
+class TestFaultCampaign:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return multiplexed_trace(get_profile("gzip"), 400)
+
+    def test_memoryless_codes_bounded(self, trace):
+        for name in ("binary", "gray", "bus-invert", "pbi"):
+            campaign = run_fault_campaign(
+                make_codec(name, 32), trace.addresses, trace.sels,
+                injections=40, seed=2,
+            )
+            assert campaign.max_corrupted_cycles <= 1
+            assert campaign.detected_fraction == 0.0
+
+    def test_stateful_codes_propagate_more(self, trace):
+        binary = run_fault_campaign(
+            make_codec("binary", 32), trace.addresses, trace.sels,
+            injections=40, seed=2,
+        )
+        offset = run_fault_campaign(
+            make_codec("offset", 32), trace.addresses, trace.sels,
+            injections=40, seed=2,
+        )
+        assert (
+            offset.mean_corrupted_cycles > 20 * binary.mean_corrupted_cycles
+        )
+
+    def test_fraction_accounting(self, trace):
+        campaign = run_fault_campaign(
+            make_codec("t0", 32), trace.addresses, trace.sels,
+            injections=60, seed=3,
+        )
+        total = (
+            campaign.silent_fraction
+            + campaign.detected_fraction
+            + campaign.masked_fraction
+        )
+        assert total == pytest.approx(1.0)
+        assert campaign.injections == 60
+        assert len(campaign.results) == 60
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            run_fault_campaign(make_codec("binary", 32), [], None)
+
+    def test_deterministic(self, trace):
+        a = run_fault_campaign(
+            make_codec("t0", 32), trace.addresses, trace.sels, 20, seed=5
+        )
+        b = run_fault_campaign(
+            make_codec("t0", 32), trace.addresses, trace.sels, 20, seed=5
+        )
+        assert [r.corrupted_cycles for r in a.results] == [
+            r.corrupted_cycles for r in b.results
+        ]

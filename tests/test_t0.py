@@ -1,0 +1,107 @@
+"""Tests for the T0 code (paper Section 2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import T0Decoder, T0Encoder, make_codec, roundtrip_stream
+from repro.core.word import EncodedWord
+from repro.metrics import count_transitions
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=200
+)
+
+
+class TestT0Mechanics:
+    def test_first_address_travels_binary(self):
+        encoder = T0Encoder(32, stride=4)
+        word = encoder.encode(0x400000)
+        assert word.bus == 0x400000
+        assert word.extras == (0,)
+
+    def test_sequential_address_freezes_bus(self):
+        encoder = T0Encoder(32, stride=4)
+        first = encoder.encode(0x400000)
+        second = encoder.encode(0x400004)
+        assert second.extras == (1,)
+        assert second.bus == first.bus  # frozen
+
+    def test_non_sequential_transmits_binary(self):
+        encoder = T0Encoder(32, stride=4)
+        encoder.encode(0x400000)
+        word = encoder.encode(0x500000)
+        assert word.extras == (0,)
+        assert word.bus == 0x500000
+
+    def test_stride_parametric(self):
+        encoder = T0Encoder(32, stride=8)
+        encoder.encode(0x1000)
+        assert encoder.encode(0x1008).extras == (1,)
+        encoder.reset()
+        encoder.encode(0x1000)
+        assert encoder.encode(0x1004).extras == (0,)
+
+    def test_wraparound_increment(self):
+        encoder = T0Encoder(8, stride=4)
+        encoder.encode(0xFC)
+        word = encoder.encode(0x00)  # 0xFC + 4 wraps to 0
+        assert word.extras == (1,)
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            T0Encoder(32, stride=3)
+        with pytest.raises(ValueError):
+            T0Encoder(32, stride=0)
+        with pytest.raises(ValueError):
+            T0Decoder(32, stride=-4)
+
+    def test_decoder_rejects_inc_on_first_cycle(self):
+        decoder = T0Decoder(32, stride=4)
+        with pytest.raises(ValueError):
+            decoder.decode(EncodedWord(0, (1,)))
+
+    def test_reset_clears_sequence_tracking(self):
+        encoder = T0Encoder(32, stride=4)
+        encoder.encode(0x400000)
+        encoder.reset()
+        word = encoder.encode(0x400004)
+        assert word.extras == (0,)
+
+
+class TestT0AsymptoticZeroTransition:
+    def test_unlimited_sequential_stream_zero_transitions(self):
+        """The headline property: zero transitions per in-sequence address.
+
+        After the first (binary) transmission the bus lines freeze and INC
+        stays constant at 1, so from cycle 2 onwards nothing switches.
+        """
+        codec = make_codec("t0", 32, stride=4)
+        stream = [0x400000 + 4 * i for i in range(500)]
+        words = codec.make_encoder().encode_stream(stream)
+        report = count_transitions(words, width=32)
+        # One INC rise (cycle 1->2); everything after that is silent.
+        assert report.total == 1
+        assert count_transitions(words[2:], width=32).total == 0
+
+    def test_beats_gray_on_sequential(self):
+        stream = [0x400000 + 4 * i for i in range(500)]
+        t0_words = make_codec("t0", 32, stride=4).make_encoder().encode_stream(stream)
+        gray_words = (
+            make_codec("gray", 32, stride=4).make_encoder().encode_stream(stream)
+        )
+        assert (
+            count_transitions(t0_words, width=32).total
+            < count_transitions(gray_words, width=32).total
+        )
+
+    @given(addresses)
+    def test_roundtrip(self, stream):
+        roundtrip_stream(make_codec("t0", 32, stride=4), stream)
+
+    @given(addresses, st.sampled_from([1, 2, 4, 8, 16]))
+    def test_roundtrip_any_stride(self, stream, stride):
+        roundtrip_stream(make_codec("t0", 32, stride=stride), stream)
+
+    def test_redundant_line_name(self):
+        assert make_codec("t0", 32).extra_lines == ("INC",)

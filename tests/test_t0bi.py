@@ -1,0 +1,108 @@
+"""Tests for the T0_BI mixed code (paper Section 3.1)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import T0BIEncoder, T0BIDecoder, make_codec, roundtrip_stream
+from repro.core.word import EncodedWord
+from repro.metrics import count_transitions
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=200
+)
+
+
+class TestT0BIMechanics:
+    def test_sequential_freezes_with_inc(self):
+        encoder = T0BIEncoder(32, stride=4)
+        first = encoder.encode(0x400000)
+        word = encoder.encode(0x400004)
+        assert word.extras == (1, 0)
+        assert word.bus == first.bus
+
+    def test_light_nonsequential_plain(self):
+        encoder = T0BIEncoder(32, stride=4)
+        encoder.encode(0x400000)
+        word = encoder.encode(0x400100)
+        assert word.extras == (0, 0)
+        assert word.bus == 0x400100
+
+    def test_heavy_nonsequential_inverted(self):
+        encoder = T0BIEncoder(32, stride=4)
+        encoder.encode(0x00000000)
+        word = encoder.encode(0xFFFFF00F)  # H = 24 > (N+2)/2 = 17
+        assert word.extras == (0, 1)
+        assert word.bus == ~0xFFFFF00F & 0xFFFFFFFF
+
+    def test_threshold_is_n_plus_2_over_2(self):
+        """Invert strictly when H > (N+2)/2 = 17 on a 32-bit bus."""
+        encoder = T0BIEncoder(32, stride=4)
+        encoder.encode(0x00000000)
+        # 17 ones: H = 17 == (N+2)/2 -> NOT inverted.
+        word = encoder.encode(0x0001FFFF)
+        assert word.extras == (0, 0)
+        encoder.reset()
+        encoder.encode(0x00000000)
+        # 18 ones: H = 18 > 17 -> inverted.
+        word = encoder.encode(0x0003FFFF)
+        assert word.extras == (0, 1)
+
+    def test_sequence_test_takes_priority_over_inversion(self):
+        """An in-sequence address freezes even if its Hamming cost is high."""
+        encoder = T0BIEncoder(32, stride=4)
+        encoder.encode(0x0FFFFFFC)
+        word = encoder.encode(0x10000000)  # +4 but flips 29 bits in binary
+        assert word.extras == (1, 0)
+
+    def test_decoder_rejects_inc_first(self):
+        with pytest.raises(ValueError):
+            T0BIDecoder(32, stride=4).decode(EncodedWord(0, (1, 0)))
+
+
+class TestT0BIBehaviour:
+    @given(addresses)
+    def test_roundtrip(self, stream):
+        roundtrip_stream(make_codec("t0bi", 32, stride=4), stream)
+
+    def test_matches_t0_on_sequential_streams(self):
+        stream = [0x400000 + 4 * i for i in range(300)]
+        t0bi = make_codec("t0bi", 32).make_encoder().encode_stream(stream)
+        report = count_transitions(t0bi, width=32)
+        assert report.total == 1  # single INC rise, as plain T0
+
+    def test_at_least_as_good_as_bus_invert_on_random(self):
+        """T0_BI = bus-invert + a freeze opportunity; on any stream its
+        bus+INC+INV activity stays within one wire per cycle of BI's."""
+        rng = random.Random(3)
+        stream = [rng.randrange(1 << 32) for _ in range(1500)]
+        t0bi_words = make_codec("t0bi", 32).make_encoder().encode_stream(stream)
+        bi_words = make_codec("bus-invert", 32).make_encoder().encode_stream(stream)
+        t0bi_total = count_transitions(t0bi_words, width=32).total
+        bi_total = count_transitions(bi_words, width=32).total
+        assert t0bi_total <= bi_total * 1.05 + len(stream)
+
+    def test_two_redundant_lines(self):
+        assert make_codec("t0bi", 32).extra_lines == ("INC", "INV")
+
+    def test_combines_savings_on_mixed_stream(self):
+        """On a stream with both sequential runs and heavy swings, T0_BI
+        beats both parents."""
+        rng = random.Random(9)
+        stream = []
+        address = 0x400000
+        for _ in range(400):
+            if rng.random() < 0.5:
+                for _ in range(rng.randrange(2, 6)):
+                    stream.append(address)
+                    address += 4
+            else:
+                address = rng.choice([0x7FFFE000, 0x10010000]) + 4 * rng.randrange(64)
+                stream.append(address)
+        def total(name):
+            words = make_codec(name, 32).make_encoder().encode_stream(stream)
+            return count_transitions(words, width=32).total
+        assert total("t0bi") < total("t0")
+        assert total("t0bi") < total("bus-invert")

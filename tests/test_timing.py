@@ -1,0 +1,94 @@
+"""Tests for the static timing analysis of codec circuits."""
+
+import pytest
+
+from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
+from repro.rtl.gates import BUF, DFF_CLK_TO_Q, DFF_SETUP, INV, XOR2
+from repro.rtl.netlist import Netlist
+
+
+class TestArrivalTimes:
+    def test_chain_accumulates_delays(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_gate(INV, a)
+        c = nl.add_gate(INV, b)
+        nl.mark_output(c, "y")
+        assert nl.critical_path_ns() == pytest.approx(2 * INV.delay * 1e9)
+
+    def test_flop_output_starts_at_clk_to_q(self):
+        nl = Netlist()
+        handle, q = nl.add_dff()
+        y = nl.add_gate(BUF, q)
+        nl.drive_dff(handle, y)
+        nl.mark_output(y, "y")
+        expected = (DFF_CLK_TO_Q + BUF.delay + DFF_SETUP) * 1e9
+        assert nl.critical_path_ns() == pytest.approx(expected)
+
+    def test_worst_of_parallel_paths(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        fast = nl.add_gate(BUF, a)
+        slow = nl.add_gate(XOR2, nl.add_gate(INV, a), a)
+        nl.mark_output(nl.add_gate(XOR2, fast, slow), "y")
+        expected = (INV.delay + 2 * XOR2.delay) * 1e9
+        assert nl.critical_path_ns() == pytest.approx(expected)
+
+    def test_empty_netlist(self):
+        assert Netlist().critical_path_ns() == 0.0
+
+
+class TestCodecTiming:
+    @pytest.fixture(scope="class")
+    def paths(self):
+        return {
+            name: ENCODER_BUILDERS[name](32).netlist.critical_path_ns()
+            for name in ENCODER_BUILDERS
+        }
+
+    def test_dualt0bi_near_paper_value(self, paths):
+        """Paper Section 4.1: critical path 5.36 ns in 0.35 um, through the
+        bus-invert section and the output mux."""
+        assert paths["dualt0bi"] == pytest.approx(5.36, abs=0.8)
+
+    def test_path_ordering_matches_architecture(self, paths):
+        """binary << t0 < bus-invert < dualt0bi: longer datapaths, longer
+        paths."""
+        assert paths["binary"] < 0.5
+        assert paths["binary"] < paths["t0"] < paths["bus-invert"]
+        assert paths["bus-invert"] < paths["dualt0bi"]
+
+    def test_critical_path_is_through_bi_section(self, paths):
+        """The dual T0_BI encoder's path exceeds its T0 section's: the
+        Hamming evaluator + majority voter dominate (paper's observation)."""
+        assert paths["dualt0bi"] > paths["dualt0"] + 1.0
+
+    def test_decoders_faster_than_encoders(self):
+        for name in ("t0", "bus-invert", "dualt0bi"):
+            encoder = ENCODER_BUILDERS[name](32).netlist.critical_path_ns()
+            decoder = DECODER_BUILDERS[name](32).netlist.critical_path_ns()
+            assert decoder < encoder
+
+    def test_all_codecs_meet_100mhz(self, paths):
+        """The paper evaluates at 100 MHz: every circuit must close 10 ns."""
+        for name, path in paths.items():
+            assert path < 10.0, f"{name} encoder misses 100 MHz timing"
+
+
+class TestArea:
+    def test_nand2_equivalents_ordering(self):
+        """Area ordering mirrors gate-count ordering across the codecs."""
+        areas = {
+            name: ENCODER_BUILDERS[name](32).netlist.area_nand2()
+            for name in ENCODER_BUILDERS
+        }
+        assert areas["binary"] < areas["t0"] < areas["dualt0bi"]
+        assert areas["dualt0bi"] > 500  # a real block, not a toy
+
+    def test_known_small_netlist(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate(XOR2, a, nl.add_gate(INV, a))
+        handle, _ = nl.add_dff()
+        nl.drive_dff(handle, a)
+        assert nl.area_nand2() == pytest.approx(2.5 + 0.7 + 5.0)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.word."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.word import EncodedWord, hamming, mask, popcount
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(0xFFFFFFFF) == 32
+
+    def test_single_bits(self):
+        for i in range(64):
+            assert popcount(1 << i) == 1
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestHamming:
+    def test_identical(self):
+        assert hamming(0xDEADBEEF, 0xDEADBEEF) == 0
+
+    def test_complement(self):
+        assert hamming(0, 0xFF) == 8
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_symmetry(self, a, b):
+        assert hamming(a, b) == hamming(b, a)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming(a, c) <= hamming(a, b) + hamming(b, c)
+
+
+class TestMask:
+    def test_small(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+
+    def test_word(self):
+        assert mask(32) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("bad", [0, -1, -32])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            mask(bad)
+
+
+class TestEncodedWord:
+    def test_plain(self):
+        word = EncodedWord(0x1234)
+        assert word.bus == 0x1234
+        assert word.extras == ()
+        assert word.extra_count == 0
+
+    def test_extras(self):
+        word = EncodedWord(5, (1, 0))
+        assert word.extra_count == 2
+
+    def test_rejects_negative_bus(self):
+        with pytest.raises(ValueError):
+            EncodedWord(-1)
+
+    @pytest.mark.parametrize("bad_extra", [2, -1, 7])
+    def test_rejects_non_binary_extras(self, bad_extra):
+        with pytest.raises(ValueError):
+            EncodedWord(0, (bad_extra,))
+
+    def test_packed_places_extras_above_bus(self):
+        word = EncodedWord(0b101, (1, 0, 1))
+        packed = word.packed(4)
+        assert packed == 0b101_0101
+
+    def test_packed_masks_bus_to_width(self):
+        word = EncodedWord(0xFF, (1,))
+        assert word.packed(4) == 0b1_1111
+
+    def test_distance_counts_bus_and_extras(self):
+        a = EncodedWord(0b0011, (0,))
+        b = EncodedWord(0b0101, (1,))
+        assert a.distance(b, 4) == 3  # two bus wires + the extra wire
+
+    def test_distance_requires_same_extra_count(self):
+        with pytest.raises(ValueError):
+            EncodedWord(0, (1,)).distance(EncodedWord(0), 4)
+
+    def test_frozen(self):
+        word = EncodedWord(1)
+        with pytest.raises(AttributeError):
+            word.bus = 2  # type: ignore[misc]
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.lists(st.integers(min_value=0, max_value=1), max_size=3),
+        st.lists(st.integers(min_value=0, max_value=1), max_size=3),
+    )
+    def test_distance_equals_packed_hamming(self, a, b, xa, xb):
+        if len(xa) != len(xb):
+            xa = xb = ()
+        wa = EncodedWord(a, tuple(xa))
+        wb = EncodedWord(b, tuple(xb))
+        assert wa.distance(wb, 32) == hamming(wa.packed(32), wb.packed(32))

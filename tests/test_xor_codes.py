@@ -1,0 +1,94 @@
+"""Tests for the irredundant offset and INC-XOR extension codes."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    IncXorEncoder,
+    OffsetEncoder,
+    make_codec,
+    roundtrip_stream,
+)
+from repro.metrics import count_transitions
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=200
+)
+
+
+class TestOffsetCode:
+    @given(addresses)
+    def test_roundtrip(self, stream):
+        roundtrip_stream(make_codec("offset", 32), stream)
+
+    def test_sequential_stream_freezes_bus(self):
+        """Constant +S steps give a constant offset word: zero transitions
+        after the first two cycles, with no redundant line at all."""
+        codec = make_codec("offset", 32)
+        stream = [0x400000 + 4 * i for i in range(300)]
+        words = codec.make_encoder().encode_stream(stream)
+        assert count_transitions(words[1:], width=32).total == 0
+
+    def test_first_word_is_address_itself(self):
+        encoder = OffsetEncoder(32)
+        assert encoder.encode(0x1234).bus == 0x1234
+
+    def test_offset_wraps_modulo(self):
+        encoder = OffsetEncoder(8)
+        encoder.encode(0xF0)
+        word = encoder.encode(0x10)  # 0x10 - 0xF0 = -0xE0 = 0x20 mod 256
+        assert word.bus == 0x20
+
+    def test_irredundant(self):
+        assert make_codec("offset", 32).extra_lines == ()
+
+
+class TestIncXorCode:
+    @given(addresses)
+    def test_roundtrip(self, stream):
+        roundtrip_stream(make_codec("inc-xor", 32), stream)
+
+    @given(addresses, st.sampled_from([1, 4, 8]))
+    def test_roundtrip_any_stride(self, stream, stride):
+        roundtrip_stream(make_codec("inc-xor", 32, stride=stride), stream)
+
+    def test_sequential_stream_zero_transitions(self):
+        """In-sequence addresses match the prediction: L = 0, bus frozen —
+        T0's asymptotic behaviour without the INC wire."""
+        codec = make_codec("inc-xor", 32, stride=4)
+        stream = [0x400000 + 4 * i for i in range(300)]
+        words = codec.make_encoder().encode_stream(stream)
+        assert count_transitions(words[1:], width=32).total == 0
+
+    def test_out_of_sequence_cost_is_prediction_distance(self):
+        """Each miss toggles exactly H(b, prediction) wires."""
+        encoder = IncXorEncoder(32, stride=4)
+        w1 = encoder.encode(0x400000)
+        w2 = encoder.encode(0x500000)
+        expected = bin(0x500000 ^ (0x400000 + 4)).count("1")
+        assert bin(w1.bus ^ w2.bus).count("1") == expected
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            IncXorEncoder(32, stride=5)
+
+    def test_comparable_to_t0_on_mixed_stream(self):
+        """inc-xor ~ T0 without the INC wire: on a mixed stream the totals
+        are within the INC line's budget of each other."""
+        rng = random.Random(2)
+        stream = []
+        address = 0x400000
+        for _ in range(600):
+            if rng.random() < 0.6:
+                address += 4
+            else:
+                address = 0x400000 + 4 * rng.randrange(4096)
+            stream.append(address)
+        t0_words = make_codec("t0", 32).make_encoder().encode_stream(stream)
+        ix_words = make_codec("inc-xor", 32).make_encoder().encode_stream(stream)
+        t0_total = count_transitions(t0_words, width=32).total
+        ix_total = count_transitions(ix_words, width=32).total
+        assert abs(t0_total - ix_total) <= len(stream)
