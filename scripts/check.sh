@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Repository health check: style lint, type check, static analysis, tests.
+#
+# ruff and mypy are optional dev tools (config lives in pyproject.toml);
+# when they are not installed the corresponding step is skipped with a
+# notice instead of failing, so the script works in the minimal container
+# as well as a full dev environment.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+run_step() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    if "$@"; then
+        echo "    ok"
+    else
+        echo "    FAILED: $name"
+        failures=$((failures + 1))
+    fi
+}
+
+have_tool() {
+    command -v "$1" >/dev/null 2>&1 || python -c "import $1" >/dev/null 2>&1
+}
+
+if have_tool ruff; then
+    if command -v ruff >/dev/null 2>&1; then
+        run_step "ruff check" ruff check src/repro
+    else
+        run_step "ruff check" python -m ruff check src/repro
+    fi
+else
+    echo "==> ruff check"
+    echo "    skipped: ruff not installed"
+fi
+
+if have_tool mypy; then
+    if command -v mypy >/dev/null 2>&1; then
+        run_step "mypy" mypy
+    else
+        run_step "mypy" python -m mypy
+    fi
+else
+    echo "==> mypy"
+    echo "    skipped: mypy not installed"
+fi
+
+run_step "repro-bus lint --all" python -m repro lint --all
+run_step "pytest (tier 1)" python -m pytest -x -q tests
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures step(s) failed"
+    exit 1
+fi
+echo "check.sh: all steps passed"

@@ -1,0 +1,67 @@
+"""Static analysis passes: netlist lint, activity analysis, codec contracts.
+
+Three independent correctness tools over the package's two codec surfaces
+(the gate-level circuits in :mod:`repro.rtl` and the behavioural codecs in
+:mod:`repro.core`), exposed together through ``repro-bus lint``:
+
+* :mod:`repro.analysis.netlint` — structural rules over
+  :class:`~repro.rtl.netlist.Netlist` (undriven flops, dead gates,
+  combinational loops, …), rule ids ``NL*``/``CK*``;
+* :mod:`repro.analysis.activity` — probabilistic switching-activity
+  estimation cross-checked against the cycle-based simulator, ``AC*``;
+* :mod:`repro.analysis.contracts` — encoder/decoder contract checking with
+  exhaustive small-width state exploration, ``CC*``.
+
+The rule catalog is documented in ``docs/analysis.md``.
+"""
+
+from repro.analysis.activity import (
+    AGREEMENT_TOLERANCES,
+    ActivityAnalysis,
+    AgreementReport,
+    analyze_netlist,
+    check_agreement,
+    compare_with_simulation,
+    input_statistics,
+    measured_activities,
+    random_vectors,
+    tolerances_for,
+)
+from repro.analysis.contracts import (
+    check_all_codecs,
+    check_codec,
+    explore_state_space,
+    small_width_params,
+)
+from repro.analysis.netlint import lint_circuit, lint_netlist
+from repro.analysis.report import (
+    AnalysisReport,
+    Finding,
+    Severity,
+    summarize,
+    worst_severity,
+)
+
+__all__ = [
+    "AGREEMENT_TOLERANCES",
+    "ActivityAnalysis",
+    "AgreementReport",
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "analyze_netlist",
+    "check_agreement",
+    "check_all_codecs",
+    "check_codec",
+    "compare_with_simulation",
+    "explore_state_space",
+    "input_statistics",
+    "lint_circuit",
+    "lint_netlist",
+    "measured_activities",
+    "random_vectors",
+    "small_width_params",
+    "summarize",
+    "tolerances_for",
+    "worst_severity",
+]

@@ -1,0 +1,324 @@
+"""Codec contract checker — rule catalog CC001…CC007.
+
+The behavioural codecs in :mod:`repro.core` are *stateful protocols*: an
+encoder/decoder pair must stay in lock-step from reset, declare its
+redundant lines truthfully, and be a lossless channel from every reachable
+state.  This pass verifies those contracts for every codec in the registry
+by introspection plus exhaustive small-width state exploration:
+
+========  ========  ======================================================
+CC001     error     codec cannot be built, or encoder/decoder pairing is
+                    broken (a factory raises)
+CC002     error     ``extra_lines`` metadata does not match the arity of
+                    the :class:`EncodedWord.extras` actually produced
+CC003     error     ``reset()`` does not restore the encoder's power-up
+                    behaviour (re-encoding a stream differs)
+CC004     error     decode(encode(a)) != a for some reachable
+                    (state, input) pair at the exploration width
+CC005     error     ``reset()`` does not restore the decoder's power-up
+                    behaviour
+CC006     warning   encoder instance and :class:`Codec` metadata disagree
+                    on the redundant-line names
+CC007     info      state exploration truncated at the state cap (coverage
+                    reported) — raise ``max_states`` for a full proof
+========  ========  ======================================================
+
+Exploration is a breadth-first search over the *joint* encoder+decoder
+state: from every discovered state, every ``(address, sel)`` input is
+applied to a deep copy of the pair, the roundtrip is checked, and the
+successor state (a structural fingerprint of both objects) is enqueued if
+new.  At width ≤ 4 the reachable joint space of every shipped codec is
+small enough to enumerate completely.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import AnalysisReport, Severity
+from repro.core.base import BusDecoder, BusEncoder
+from repro.core.registry import available_codecs, make_codec
+
+#: Exploration width: small enough to enumerate, wide enough that every
+#: code's special cases (majority votes, zone hits, sector moves) occur.
+DEFAULT_EXPLORATION_WIDTH = 4
+#: Joint-state cap; every shipped codec stays below it at width 4.
+DEFAULT_MAX_STATES = 4096
+
+
+def small_width_params(name: str, width: int) -> Optional[Dict[str, object]]:
+    """Constructor params that make codec ``name`` buildable at ``width``.
+
+    The registry defaults target 32-bit buses (``mtf`` carves 12 offset
+    bits, ``pbi`` wants 4 partitions, ``wze`` 4 zones); at the small widths
+    the contract checker and the roundtrip matrix sweep, those defaults are
+    unsatisfiable and are scaled down here.  Returns ``None`` when the
+    codec is structurally impossible at that width (``mtf`` below 3 bits).
+    """
+    if name == "beach":
+        mask = (1 << width) - 1
+        return {"training": [((i * 3) + 1) & mask for i in range(8)]}
+    if name == "mtf":
+        if width < 3:
+            return None  # needs offset + index + sector bits
+        if width < 8:
+            return {"offset_bits": 1, "sectors": 2}
+        if width < 16:
+            return {"offset_bits": 4, "sectors": 4}
+        return {}
+    if name == "pbi":
+        return {"partitions": min(4, width)}
+    if name == "wze":
+        if width >= 4:
+            return {}
+        return {"zones": min(2, width), "stride": 1}
+    return {}
+
+
+def _fingerprint(obj: object, _depth: int = 0) -> object:
+    """Hashable structural fingerprint of a codec's mutable state."""
+    if _depth > 8:
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return tuple(_fingerprint(item, _depth + 1) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return frozenset(_fingerprint(item, _depth + 1) for item in obj)
+    if isinstance(obj, dict):
+        return tuple(
+            sorted(
+                (str(key), _fingerprint(value, _depth + 1))
+                for key, value in obj.items()
+            )
+        )
+    if hasattr(obj, "__dict__"):
+        return (
+            type(obj).__name__,
+            _fingerprint(vars(obj), _depth + 1),
+        )
+    return repr(obj)
+
+
+def _pair_fingerprint(encoder: BusEncoder, decoder: BusDecoder) -> object:
+    return (_fingerprint(encoder), _fingerprint(decoder))
+
+
+@dataclass
+class ExplorationStats:
+    """Coverage of one exhaustive state exploration."""
+
+    states: int
+    transitions: int
+    truncated: bool
+
+
+def _probe_stream(width: int) -> Tuple[List[int], List[int]]:
+    """A short deterministic stream hitting sequential and random cases."""
+    mask = (1 << width) - 1
+    addresses = [(i * 4) & mask for i in range(6)]
+    addresses += [(i * 7 + 3) & mask for i in range(6)]
+    addresses += [0, mask, 0, mask]
+    sels = [i % 2 for i in range(len(addresses))]
+    return addresses, sels
+
+
+def check_codec(
+    name: str,
+    width: int = DEFAULT_EXPLORATION_WIDTH,
+    max_states: int = DEFAULT_MAX_STATES,
+    params: Optional[Dict[str, object]] = None,
+) -> AnalysisReport:
+    """Run every contract rule against one registered codec."""
+    report = AnalysisReport(target=f"{name}@{width}", pass_name="contracts")
+
+    if params is None:
+        params = small_width_params(name, width)
+    if params is None:
+        report.add(
+            "CC001",
+            Severity.ERROR,
+            f"codec {name!r} is not constructible at width {width} "
+            "(no parameterization fits)",
+            subjects=(name,),
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # CC001 — pairing exists and both factories work.
+    # ------------------------------------------------------------------
+    try:
+        codec = make_codec(name, width, **params)
+        encoder = codec.make_encoder()
+        decoder = codec.make_decoder()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the pass
+        report.add(
+            "CC001",
+            Severity.ERROR,
+            f"building codec {name!r} at width {width} failed: "
+            f"{type(exc).__name__}: {exc}",
+            subjects=(name,),
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # CC006 — metadata consistency between Codec and encoder instance.
+    # ------------------------------------------------------------------
+    if tuple(codec.extra_lines) != tuple(encoder.extra_lines):
+        report.add(
+            "CC006",
+            Severity.WARNING,
+            f"Codec.extra_lines {tuple(codec.extra_lines)} disagrees with "
+            f"the encoder instance {tuple(encoder.extra_lines)}",
+            subjects=(name,),
+        )
+
+    # ------------------------------------------------------------------
+    # CC002 — declared extra lines match produced extras arity.
+    # ------------------------------------------------------------------
+    addresses, sels = _probe_stream(width)
+    encoder.reset()
+    declared = len(encoder.extra_lines)
+    for address, sel in zip(addresses, sels):
+        word = encoder.encode(address, sel)
+        if len(word.extras) != declared:
+            report.add(
+                "CC002",
+                Severity.ERROR,
+                f"encoder declares {declared} extra lines "
+                f"{tuple(encoder.extra_lines)} but produced a word with "
+                f"{len(word.extras)} extras for address {address:#x}",
+                subjects=(name,),
+            )
+            break
+
+    # ------------------------------------------------------------------
+    # CC003 / CC005 — reset() restores power-up behaviour on both ends.
+    # ------------------------------------------------------------------
+    encoder.reset()
+    first_words = [encoder.encode(a, s) for a, s in zip(addresses, sels)]
+    encoder.reset()
+    second_words = [encoder.encode(a, s) for a, s in zip(addresses, sels)]
+    if first_words != second_words:
+        index = next(
+            i for i, (a, b) in enumerate(zip(first_words, second_words))
+            if a != b
+        )
+        report.add(
+            "CC003",
+            Severity.ERROR,
+            f"encoder reset() does not restore power-up state: re-encoding "
+            f"the probe stream diverges at cycle {index}",
+            subjects=(name,),
+        )
+
+    decoder.reset()
+    first_decoded = [
+        decoder.decode(w, s) for w, s in zip(first_words, sels)
+    ]
+    decoder.reset()
+    second_decoded = [
+        decoder.decode(w, s) for w, s in zip(first_words, sels)
+    ]
+    if first_decoded != second_decoded:
+        report.add(
+            "CC005",
+            Severity.ERROR,
+            "decoder reset() does not restore power-up state: re-decoding "
+            "the probe stream diverges",
+            subjects=(name,),
+        )
+
+    # ------------------------------------------------------------------
+    # CC004 — exhaustive (state × input) roundtrip exploration.
+    # ------------------------------------------------------------------
+    stats, violations = explore_state_space(
+        codec.make_encoder(), codec.make_decoder(), width, max_states
+    )
+    for address, sel, decoded in violations[:5]:
+        report.add(
+            "CC004",
+            Severity.ERROR,
+            f"roundtrip violated: encode({address:#x}, sel={sel}) decoded "
+            f"to {decoded:#x} from a reachable state",
+            subjects=(name,),
+        )
+    if stats.truncated:
+        report.add(
+            "CC007",
+            Severity.INFO,
+            f"state exploration truncated at {stats.states} states "
+            f"({stats.transitions} transitions checked) — raise max_states "
+            "for a full proof",
+            subjects=(name,),
+        )
+    else:
+        report.add(
+            "CC000",
+            Severity.INFO,
+            f"exhaustive: {stats.states} reachable joint states × "
+            f"{(1 << width) * 2} inputs = {stats.transitions} transitions, "
+            "all lossless",
+            subjects=(name,),
+        )
+    return report
+
+
+def explore_state_space(
+    encoder: BusEncoder,
+    decoder: BusDecoder,
+    width: int,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> Tuple[ExplorationStats, List[Tuple[int, int, int]]]:
+    """BFS over the joint encoder/decoder state space.
+
+    Returns exploration statistics and the list of roundtrip violations as
+    ``(address, sel, wrongly_decoded)`` triples (empty when the codec is a
+    lossless channel from every reachable state).
+    """
+    encoder.reset()
+    decoder.reset()
+    seen = {_pair_fingerprint(encoder, decoder)}
+    queue = deque([(encoder, decoder)])
+    violations: List[Tuple[int, int, int]] = []
+    transitions = 0
+    truncated = False
+
+    while queue:
+        enc_state, dec_state = queue.popleft()
+        for address in range(1 << width):
+            for sel in (0, 1):
+                enc, dec = copy.deepcopy((enc_state, dec_state))
+                word = enc.encode(address, sel)
+                decoded = dec.decode(word, sel)
+                transitions += 1
+                if decoded != address:
+                    violations.append((address, sel, decoded))
+                    continue  # do not explore beyond a broken transition
+                fingerprint = _pair_fingerprint(enc, dec)
+                if fingerprint not in seen:
+                    if len(seen) >= max_states:
+                        truncated = True
+                        continue
+                    seen.add(fingerprint)
+                    queue.append((enc, dec))
+
+    stats = ExplorationStats(
+        states=len(seen), transitions=transitions, truncated=truncated
+    )
+    return stats, violations
+
+
+def check_all_codecs(
+    width: int = DEFAULT_EXPLORATION_WIDTH,
+    max_states: int = DEFAULT_MAX_STATES,
+    names: Optional[List[str]] = None,
+) -> List[AnalysisReport]:
+    """Contract-check every registered codec (or ``names``)."""
+    return [
+        check_codec(name, width=width, max_states=max_states)
+        for name in (names if names is not None else available_codecs())
+    ]

@@ -1,0 +1,230 @@
+"""Structural netlist linter — rule catalog NL001…NL008.
+
+The cycle-based simulator in :mod:`repro.rtl.netlist` assumes structural
+invariants that two-phase construction (``add_dff`` / ``drive_dff``) cannot
+enforce at build time: every flop eventually driven, insertion order a valid
+topological order, every gate output consumed somewhere.  This pass checks
+them statically, the way a synthesis tool's ``check_design`` does, so a
+malformed codec circuit fails loudly *before* its power numbers are trusted.
+
+Rules
+-----
+
+========  ========  ======================================================
+NL001     error     DFF created with ``add_dff`` but never ``drive_dff``'d
+NL002     error     combinational topological-order violation (a gate reads
+                    a net produced by a *later* gate — a feedback loop not
+                    broken by a flip-flop)
+NL003     error     gate arity does not match its :class:`GateSpec`
+NL004     warning   dead gate: output drives no gate, flop D or primary
+                    output
+NL005     warning   floating net: primary input or flop Q with no fanout
+NL006     warning   duplicate primary-output name
+NL007     info      constant-foldable gate (every fanin is a constant net)
+NL008     info      net with no name (empty string) — hurts diagnostics
+========  ========  ======================================================
+
+Error-level rules are conditions the simulator would mis-handle or reject;
+warnings are almost certainly construction bugs (dead logic still burns
+power in the estimates); infos are hygiene.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.report import AnalysisReport, Severity
+from repro.rtl.netlist import Netlist
+
+#: Origin tags assigned to every net during the single sweep.
+_ORIGIN_INPUT = "input"
+_ORIGIN_CONST = "const"
+_ORIGIN_GATE = "gate"
+_ORIGIN_FLOP = "flop"
+
+
+def lint_netlist(netlist: Netlist) -> AnalysisReport:
+    """Run every structural rule over one netlist."""
+    report = AnalysisReport(target=netlist.name, pass_name="netlint")
+
+    origin: Dict[int, str] = {}
+    gate_index_of_net: Dict[int, int] = {}
+    for net in netlist._inputs:
+        origin[net] = _ORIGIN_INPUT
+    for net in netlist._const_nets.values():
+        origin[net] = _ORIGIN_CONST
+    for index, gate in enumerate(netlist._gates):
+        origin[gate.output] = _ORIGIN_GATE
+        gate_index_of_net[gate.output] = index
+    for flop in netlist._flops:
+        origin[flop.q] = _ORIGIN_FLOP
+
+    # ------------------------------------------------------------------
+    # NL001 — undriven flip-flops.
+    # ------------------------------------------------------------------
+    for handle, flop in enumerate(netlist._flops):
+        if flop.d is None:
+            report.add(
+                "NL001",
+                Severity.ERROR,
+                f"flop {handle} ({netlist.net_name(flop.q)!r}) has no D "
+                "input: add_dff() without a matching drive_dff()",
+                subjects=(netlist.net_name(flop.q),),
+            )
+
+    # ------------------------------------------------------------------
+    # NL002 — topological-order violations (combinational loops), and
+    # NL003 — gate arity mismatches.
+    # ------------------------------------------------------------------
+    for index, gate in enumerate(netlist._gates):
+        if len(gate.inputs) != gate.spec.arity:
+            report.add(
+                "NL003",
+                Severity.ERROR,
+                f"{gate.spec.name} gate {netlist.net_name(gate.output)!r} "
+                f"has {len(gate.inputs)} fanins, spec requires "
+                f"{gate.spec.arity}",
+                subjects=(netlist.net_name(gate.output),),
+            )
+        for net in gate.inputs:
+            producer = origin.get(net)
+            if producer == _ORIGIN_GATE and gate_index_of_net[net] >= index:
+                report.add(
+                    "NL002",
+                    Severity.ERROR,
+                    f"gate {netlist.net_name(gate.output)!r} reads "
+                    f"{netlist.net_name(net)!r} which is produced by a later "
+                    "gate — combinational loop (feedback must go through a "
+                    "flip-flop)",
+                    subjects=(
+                        netlist.net_name(gate.output),
+                        netlist.net_name(net),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Fanout map for the liveness rules.
+    # ------------------------------------------------------------------
+    consumed: Set[int] = set()
+    for gate in netlist._gates:
+        consumed.update(gate.inputs)
+    for flop in netlist._flops:
+        if flop.d is not None:
+            consumed.add(flop.d)
+    output_nets = {net for _, net in netlist._outputs}
+
+    # NL004 — dead gates.
+    for gate in netlist._gates:
+        if gate.output not in consumed and gate.output not in output_nets:
+            report.add(
+                "NL004",
+                Severity.WARNING,
+                f"dead gate: {gate.spec.name} output "
+                f"{netlist.net_name(gate.output)!r} drives no gate, flop or "
+                "primary output (it still burns power in the estimates)",
+                subjects=(netlist.net_name(gate.output),),
+            )
+
+    # NL005 — floating sources (unused primary inputs / flop outputs).
+    floating: List[int] = []
+    for net in netlist._inputs:
+        if net not in consumed and net not in output_nets:
+            floating.append(net)
+    for flop in netlist._flops:
+        if flop.q not in consumed and flop.q not in output_nets:
+            floating.append(flop.q)
+    for net in floating:
+        kind = "primary input" if origin[net] == _ORIGIN_INPUT else "flop output"
+        report.add(
+            "NL005",
+            Severity.WARNING,
+            f"floating net: {kind} {netlist.net_name(net)!r} has no fanout",
+            subjects=(netlist.net_name(net),),
+        )
+
+    # NL006 — duplicate output names.
+    seen: Dict[str, int] = {}
+    for name, _ in netlist._outputs:
+        seen[name] = seen.get(name, 0) + 1
+    for name, count in seen.items():
+        if count > 1:
+            report.add(
+                "NL006",
+                Severity.WARNING,
+                f"primary output name {name!r} declared {count} times",
+                subjects=(name,),
+            )
+
+    # NL007 — constant-foldable gates.
+    const_nets = set(netlist._const_nets.values())
+    for gate in netlist._gates:
+        if gate.inputs and all(net in const_nets for net in gate.inputs):
+            report.add(
+                "NL007",
+                Severity.INFO,
+                f"{gate.spec.name} gate {netlist.net_name(gate.output)!r} "
+                "has only constant fanins and could be folded",
+                subjects=(netlist.net_name(gate.output),),
+            )
+
+    # NL008 — anonymous nets.
+    for net in range(netlist.net_count):
+        if netlist.net_name(net) == "":
+            report.add(
+                "NL008",
+                Severity.INFO,
+                f"net {net} has an empty name",
+                subjects=(str(net),),
+            )
+
+    return report
+
+
+def lint_circuit(circuit: "CircuitLike") -> AnalysisReport:
+    """Lint a codec circuit: netlist rules plus metadata/width contracts.
+
+    ``circuit`` is an :class:`~repro.rtl.codecs.EncoderCircuit` or
+    :class:`~repro.rtl.codecs.DecoderCircuit`.  On top of
+    :func:`lint_netlist` this checks that the primary-output arity matches
+    the declared ``width`` + ``extra_lines`` (rule CK001) and that every
+    declared extra line is actually a primary output of an encoder (CK002).
+    """
+    report = lint_netlist(circuit.netlist)
+    report.pass_name = "netlint+circuit"
+
+    output_names = [name for name, _ in circuit.netlist.outputs]
+    is_encoder = hasattr(circuit, "uses_sel") and any(
+        name.startswith("B[") for name in output_names
+    )
+    expected = circuit.width + (len(circuit.extra_lines) if is_encoder else 0)
+    if len(output_names) < expected:
+        report.add(
+            "CK001",
+            Severity.ERROR,
+            f"circuit {circuit.name!r} declares width {circuit.width} and "
+            f"{len(circuit.extra_lines)} extra lines but exposes only "
+            f"{len(output_names)} primary outputs",
+            subjects=(circuit.name,),
+        )
+    if is_encoder:
+        missing = [
+            line for line in circuit.extra_lines if line not in output_names
+        ]
+        for line in missing:
+            report.add(
+                "CK002",
+                Severity.ERROR,
+                f"declared extra line {line!r} is not a primary output of "
+                f"circuit {circuit.name!r}",
+                subjects=(circuit.name, line),
+            )
+    return report
+
+
+class CircuitLike:  # pragma: no cover - typing helper only
+    """Structural protocol for :func:`lint_circuit` (duck-typed)."""
+
+    name: str
+    width: int
+    netlist: Netlist
+    extra_lines: tuple

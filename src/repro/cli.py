@@ -11,16 +11,18 @@ Subcommands
 * ``sweep {stride,seq}``     — run an ablation sweep
 * ``power``                  — gate-level codec power for a given load
 * ``timing``                 — codec circuit critical paths (STA)
+* ``lint``                   — static analysis: netlist lint, activity
+                               agreement, codec contract checking
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core import available_codecs, make_codec
-from repro.metrics import compare_codecs, render_table, stream_statistics
+from repro.metrics import compare_codecs, render_table
 from repro.tracegen import (
     AddressTrace,
     BENCHMARK_NAMES,
@@ -276,6 +278,79 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        Severity,
+        check_codec,
+        check_agreement,
+        lint_circuit,
+        summarize,
+    )
+    from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
+
+    circuit_names = sorted(ENCODER_BUILDERS)
+    codec_names = available_codecs()
+    if args.codecs:
+        unknown = [n for n in args.codecs if n not in codec_names]
+        if unknown:
+            print(f"unknown codec(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        circuit_names = [n for n in circuit_names if n in args.codecs]
+        codec_names = [n for n in codec_names if n in args.codecs]
+
+    reports = []
+    if not args.skip_netlint:
+        for name in circuit_names:
+            reports.append(lint_circuit(ENCODER_BUILDERS[name](args.width)))
+            reports.append(lint_circuit(DECODER_BUILDERS[name](args.width)))
+    if not args.skip_activity:
+        for name in circuit_names:
+            for builders in (ENCODER_BUILDERS, DECODER_BUILDERS):
+                netlist = builders[name](args.width).netlist
+                reports.append(
+                    check_agreement(
+                        netlist, cycles=args.cycles, seed=args.seed
+                    )
+                )
+    if not args.skip_contracts:
+        for name in codec_names:
+            reports.append(
+                check_codec(
+                    name,
+                    width=args.contract_width,
+                    max_states=args.max_states,
+                )
+            )
+
+    totals = summarize(reports)
+    if args.json:
+        print(
+            json.dumps(
+                {"reports": [r.to_dict() for r in reports], "summary": totals},
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            interesting = args.verbose or any(
+                f.severity != Severity.INFO for f in report.findings
+            )
+            if interesting:
+                print(report.render(verbose=args.verbose))
+        print(
+            f"lint: {totals['targets']} targets — {totals['errors']} errors, "
+            f"{totals['warnings']} warnings, {totals['info']} info"
+        )
+
+    if totals["errors"]:
+        return 1
+    if args.strict and totals["warnings"]:
+        return 1
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments import export_all
 
@@ -386,6 +461,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--trace-file", help="use a saved trace instead")
     p_explore.add_argument("--load-pf", type=float, default=50.0)
     p_explore.set_defaults(func=_cmd_explore)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: netlist lint, activity agreement, contracts",
+        description=(
+            "Run the three static passes of repro.analysis over the "
+            "gate-level codec circuits and the codec registry.  With no "
+            "flags (or --all) every built-in circuit is linted and "
+            "activity-checked and every registered codec is "
+            "contract-checked; exits nonzero on any error-level finding."
+        ),
+    )
+    p_lint.add_argument(
+        "--all",
+        action="store_true",
+        help="lint everything (the default; spelled out for scripts)",
+    )
+    p_lint.add_argument(
+        "--codecs", nargs="*", help="restrict to these codec names"
+    )
+    p_lint.add_argument(
+        "--width", type=int, default=32, help="netlist width (default 32)"
+    )
+    p_lint.add_argument(
+        "--contract-width",
+        type=int,
+        default=4,
+        help="exhaustive state-exploration width (default 4)",
+    )
+    p_lint.add_argument(
+        "--max-states",
+        type=int,
+        default=4096,
+        help="joint-state cap for the contract exploration",
+    )
+    p_lint.add_argument(
+        "--cycles",
+        type=int,
+        default=400,
+        help="random cycles for the activity agreement check",
+    )
+    p_lint.add_argument("--seed", type=int, default=0)
+    p_lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail (nonzero exit)",
+    )
+    p_lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show clean targets and info-level findings",
+    )
+    p_lint.add_argument("--skip-netlint", action="store_true")
+    p_lint.add_argument("--skip-activity", action="store_true")
+    p_lint.add_argument("--skip-contracts", action="store_true")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_export = sub.add_parser("export", help="write all results as JSON")
     p_export.add_argument("output")

@@ -31,7 +31,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
 from repro.core.word import EncodedWord, hamming

@@ -22,7 +22,7 @@ access instead of a dozen.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.core.base import BusDecoder, BusEncoder, SEL_INSTRUCTION
 from repro.core.gray import binary_to_gray, gray_to_binary

@@ -21,9 +21,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
-from repro.core.base import BusDecoder, BusEncoder, Codec
+from repro.core.base import Codec
 from repro.core.beach import BeachDecoder, BeachEncoder, train_beach_code
 from repro.core.binary import BinaryDecoder, BinaryEncoder
 from repro.core.businvert import BusInvertDecoder, BusInvertEncoder

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.experiments.ablations import sequentiality_sweep, stride_sweep
 from repro.experiments.power_tables import simulate_codecs, table8, table9

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core import Codec, make_codec
 from repro.metrics import PaperTable, compare_codecs, render_table
 from repro.power.analytical import table1 as analytical_table1
-from repro.tracegen import BENCHMARKS, all_traces
+from repro.tracegen import all_traces
 from repro.tracegen.trace import AddressTrace
 
 #: Column averages published in the paper, for table-by-table comparison.

@@ -15,7 +15,7 @@ This module packages that procedure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.metrics import count_transitions
 from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS

@@ -10,8 +10,8 @@ extension bench (and the paper's follow-up literature) studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.tracegen.trace import AddressTrace, KIND_INSTRUCTION
 

@@ -20,9 +20,9 @@ roundtrip check for every code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.core.base import Codec, SEL_DATA, SEL_INSTRUCTION
+from repro.core.base import Codec, SEL_DATA
 from repro.core.word import EncodedWord
 from repro.memory.main import MainMemory
 

@@ -15,9 +15,9 @@ where a combined code pays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.core.base import SEL_DATA, SEL_INSTRUCTION
+from repro.core.base import SEL_INSTRUCTION
 from repro.memory.cache import Cache, CacheConfig
 from repro.tracegen.trace import KIND_MULTIPLEXED, AddressTrace
 

@@ -9,7 +9,7 @@ test suite and used by the CLI for large trace files.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import Sequence, Union
 
 import numpy as np
 

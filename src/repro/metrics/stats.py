@@ -11,7 +11,7 @@ working-set spread).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.base import SEL_INSTRUCTION
 from repro.core.word import hamming

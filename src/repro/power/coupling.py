@@ -24,7 +24,7 @@ work moved from transition counting to coupling-aware codes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from repro.core.word import EncodedWord
 

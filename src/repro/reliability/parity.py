@@ -18,7 +18,6 @@ the benches show the overhead is a few percent of the code's savings.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.base import BusDecoder, BusEncoder, Codec, SEL_INSTRUCTION
 from repro.core.word import EncodedWord

@@ -213,8 +213,10 @@ def _add_power_of_two(
     result: List[NetId] = [nl.add_gate(BUF, word[i]) for i in range(k)]
     result.append(nl.add_gate(INV, word[k]))
     # prefixes[j] = AND(word[k .. k+j]) via a Kogge–Stone doubling tree:
-    # log-depth, shared intermediate terms.
-    prefixes: List[NetId] = list(word[k:])
+    # log-depth, shared intermediate terms.  The carry chain only consumes
+    # prefixes of word[k .. width-2], so the full-word prefix is never
+    # built (it would be a dead gate — netlint rule NL004).
+    prefixes: List[NetId] = list(word[k:-1])
     shift = 1
     while shift < len(prefixes):
         for j in range(len(prefixes) - 1, shift - 1, -1):

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.base import SEL_INSTRUCTION
 from repro.core.word import EncodedWord
 from repro.rtl import blocks
-from repro.rtl.gates import AND2, BUF, INV, OR2, XOR2
+from repro.rtl.gates import AND2, INV, OR2, XOR2
 from repro.rtl.netlist import Netlist, NetId, SimulationResult
 
 

@@ -16,10 +16,10 @@ conservative one for the codec circuits whose logic depth is small.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.rtl.gates import ALL_GATES, DFF, GateSpec
+from repro.rtl.gates import DFF, GateSpec
 
 NetId = int
 
@@ -241,10 +241,26 @@ class Netlist:
         return worst * 1e9
 
     def validate(self) -> None:
-        """Check the netlist is complete (every flop driven)."""
-        for handle, flop in enumerate(self._flops):
-            if flop.d is None:
-                raise ValueError(f"flop {handle} ({self.net_name(flop.q)}) has no D input")
+        """Check the netlist is complete (every flop driven).
+
+        Called by :meth:`simulate` before the first cycle so an incomplete
+        two-phase construction fails loudly, naming the flop, instead of
+        crashing obscurely (or silently holding init state) mid-simulation.
+        """
+        undriven = [
+            (handle, self.net_name(flop.q))
+            for handle, flop in enumerate(self._flops)
+            if flop.d is None
+        ]
+        if undriven:
+            described = ", ".join(
+                f"flop {handle} ({name!r})" for handle, name in undriven
+            )
+            raise ValueError(
+                f"netlist {self.name!r} has {len(undriven)} DFF(s) with no D "
+                f"input: {described} — each add_dff() needs a matching "
+                "drive_dff() before simulation"
+            )
 
     # ------------------------------------------------------------------
     # Simulation

@@ -224,24 +224,33 @@ def _propagate_gate(
     raise ValueError(f"unknown gate type {name!r}")
 
 
-def estimate_probabilistic(
+def _clamp_activity(probability: float, activity: float) -> float:
+    """Physical ceiling on a zero-delay transition density.
+
+    A net that is 1 for a fraction ``p`` of the cycles can change its final
+    value at most ``min(1, 2p, 2(1-p))`` times per cycle.  The additive XOR
+    rule in :func:`_propagate_gate` double-counts simultaneous input
+    toggles, which diverges through register feedback (the bus-invert
+    ``bus_reg`` ← XOR ← ``bus_reg`` loop) unless bounded here.
+    """
+    bound = min(1.0, 2.0 * probability, 2.0 * (1.0 - probability))
+    return min(activity, max(bound, 0.0))
+
+
+def propagate_activities(
     netlist: Netlist,
     input_probabilities: Sequence[float],
     input_activities: Sequence[float],
-    vdd: float = DEFAULT_VDD,
-    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
-    output_load: float = 0.0,
-    wire_cap: float = DEFAULT_WIRE_CAP,
-    glitch_fraction: float = DEFAULT_GLITCH_FRACTION,
-    glitch_cap: float = DEFAULT_GLITCH_CAP,
     iterations: int = 30,
     tolerance: float = 1e-9,
-) -> PowerEstimate:
-    """Activity-propagation power estimate.
+) -> Tuple[List[float], List[float]]:
+    """Per-net ``(probabilities, activities)`` under input independence.
 
-    ``input_probabilities``/``input_activities`` are per primary input, in
-    :attr:`Netlist.inputs` order; activities are expected transitions per
-    clock cycle.  Register feedback is resolved by fixpoint iteration.
+    The static switching-activity engine shared by the probabilistic power
+    mode and :mod:`repro.analysis.activity`: signal probabilities and
+    transition densities propagate through the gate graph via the
+    Boolean-difference rules of :func:`_propagate_gate`; register feedback
+    is resolved by fixpoint iteration from an uninformative 0.5/0.5 prior.
     """
     netlist.validate()
     if len(input_probabilities) != len(netlist.inputs) or len(
@@ -272,11 +281,12 @@ def estimate_probabilistic(
 
     for _ in range(iterations):
         for gate in netlist._gates:
-            probs[gate.output], acts[gate.output] = _propagate_gate(
+            p, a = _propagate_gate(
                 gate.spec.name,
                 [probs[i] for i in gate.inputs],
                 [acts[i] for i in gate.inputs],
             )
+            probs[gate.output], acts[gate.output] = p, _clamp_activity(p, a)
         delta = 0.0
         for flop in netlist._flops:
             new_p, new_a = probs[flop.d], acts[flop.d]  # type: ignore[index]
@@ -289,11 +299,41 @@ def estimate_probabilistic(
             break
     # Final combinational pass with the settled register state.
     for gate in netlist._gates:
-        probs[gate.output], acts[gate.output] = _propagate_gate(
+        p, a = _propagate_gate(
             gate.spec.name,
             [probs[i] for i in gate.inputs],
             [acts[i] for i in gate.inputs],
         )
+        probs[gate.output], acts[gate.output] = p, _clamp_activity(p, a)
+    return probs, acts
+
+
+def estimate_probabilistic(
+    netlist: Netlist,
+    input_probabilities: Sequence[float],
+    input_activities: Sequence[float],
+    vdd: float = DEFAULT_VDD,
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    output_load: float = 0.0,
+    wire_cap: float = DEFAULT_WIRE_CAP,
+    glitch_fraction: float = DEFAULT_GLITCH_FRACTION,
+    glitch_cap: float = DEFAULT_GLITCH_CAP,
+    iterations: int = 30,
+    tolerance: float = 1e-9,
+) -> PowerEstimate:
+    """Activity-propagation power estimate.
+
+    ``input_probabilities``/``input_activities`` are per primary input, in
+    :attr:`Netlist.inputs` order; activities are expected transitions per
+    clock cycle.  Register feedback is resolved by fixpoint iteration.
+    """
+    _, acts = propagate_activities(
+        netlist,
+        input_probabilities,
+        input_activities,
+        iterations=iterations,
+        tolerance=tolerance,
+    )
 
     return _assemble_estimate(
         netlist,

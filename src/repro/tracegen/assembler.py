@@ -23,7 +23,7 @@ assemble to PC-relative word offsets, jump targets to absolute word indices.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.tracegen import layout

@@ -11,12 +11,12 @@ behaviour, the statistical models its calibrated, scalable stand-ins.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.base import SEL_DATA, SEL_INSTRUCTION
 from repro.tracegen import layout
 from repro.tracegen.assembler import Program
-from repro.tracegen.isa import Instruction, sign_extend_16
+from repro.tracegen.isa import Instruction
 from repro.tracegen.trace import (
     KIND_DATA,
     KIND_INSTRUCTION,

@@ -17,7 +17,7 @@ Formats (simplified MIPS):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 #: Register names in MIPS convention, index = register number.
 REGISTER_NAMES: Tuple[str, ...] = (

@@ -20,7 +20,7 @@ measured from the generated traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.tracegen.synthetic import (
     DataProfile,

@@ -12,7 +12,7 @@ profiles.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.tracegen.assembler import Program, assemble
 from repro.tracegen.cpu import ExecutionResult, run_program

@@ -28,8 +28,8 @@ Every generator is deterministic given its seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.core.base import SEL_DATA, SEL_INSTRUCTION
 from repro.tracegen import layout

@@ -8,7 +8,7 @@ human-readable provenance name.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 

@@ -1,0 +1,150 @@
+"""Probabilistic activity analysis and static/dynamic agreement."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    AGREEMENT_TOLERANCES,
+    analyze_netlist,
+    check_agreement,
+    compare_with_simulation,
+    input_statistics,
+    measured_activities,
+    random_vectors,
+    tolerances_for,
+)
+from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
+from repro.rtl.gates import AND2, INV, OR2, XOR2
+from repro.rtl.netlist import Netlist
+
+
+class TestPropagationRules:
+    """Exact hand-computed probabilities on tiny feed-forward netlists."""
+
+    def test_and_probability(self):
+        nl = Netlist("tiny")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        out = nl.add_gate(AND2, a, b)
+        nl.mark_output(out, "out")
+        analysis = analyze_netlist(nl)
+        assert math.isclose(analysis.probabilities[out], 0.25)
+
+    def test_or_probability(self):
+        nl = Netlist("tiny")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        out = nl.add_gate(OR2, a, b)
+        nl.mark_output(out, "out")
+        analysis = analyze_netlist(nl)
+        assert math.isclose(analysis.probabilities[out], 0.75)
+
+    def test_inverter_preserves_activity(self):
+        nl = Netlist("tiny")
+        a = nl.add_input("a")
+        out = nl.add_gate(INV, a)
+        nl.mark_output(out, "out")
+        analysis = analyze_netlist(nl, [0.3], [0.2])
+        assert math.isclose(analysis.probabilities[out], 0.7)
+        assert math.isclose(analysis.activities[out], 0.2)
+
+    def test_activity_clamped_by_probability(self):
+        """A net at probability p toggles at most min(1, 2p, 2(1-p))."""
+        nl = Netlist("tiny")
+        inputs = nl.add_inputs("a", 4)
+        tree = nl.add_gate(AND2, inputs[0], inputs[1])
+        tree = nl.add_gate(AND2, tree, inputs[2])
+        tree = nl.add_gate(AND2, tree, inputs[3])
+        nl.mark_output(tree, "out")
+        analysis = analyze_netlist(nl)
+        p = analysis.probabilities[tree]
+        assert math.isclose(p, 1 / 16)
+        assert analysis.activities[tree] <= min(1.0, 2 * p, 2 * (1 - p)) + 1e-12
+
+    def test_all_activities_bounded(self):
+        """The clamp holds on a real circuit with register feedback."""
+        circuit = ENCODER_BUILDERS["bus-invert"](16)
+        analysis = analyze_netlist(circuit.netlist)
+        for p, a in zip(analysis.probabilities, analysis.activities):
+            assert 0.0 <= p <= 1.0
+            assert a <= min(1.0, 2 * p, 2 * (1 - p)) + 1e-9
+
+    def test_output_activities_named(self):
+        circuit = ENCODER_BUILDERS["binary"](4)
+        analysis = analyze_netlist(circuit.netlist)
+        names = [name for name, _ in analysis.output_activities()]
+        assert names == [name for name, _ in circuit.netlist.outputs]
+
+
+class TestMeasurement:
+    def test_input_statistics_exact(self):
+        vectors = [[0, 1], [1, 1], [0, 1], [1, 0]]
+        probabilities, activities = input_statistics(vectors)
+        assert probabilities == [0.5, 0.75]
+        assert activities == [1.0, 1 / 3]
+
+    def test_measured_matches_simulator_toggles(self):
+        nl = Netlist("tiny")
+        a = nl.add_input("a")
+        nl.mark_output(nl.add_gate(INV, a), "out")
+        vectors = [[0], [1], [1], [0], [1]]
+        measured = measured_activities(nl, vectors)
+        assert math.isclose(measured[a], 3 / 4)
+
+    def test_random_vectors_deterministic(self):
+        assert random_vectors(8, 50, seed=3) == random_vectors(8, 50, seed=3)
+        assert random_vectors(8, 50, seed=3) != random_vectors(8, 50, seed=4)
+
+
+class TestAgreement:
+    """ISSUE acceptance: static ≈ dynamic for at least binary and T0."""
+
+    @pytest.mark.parametrize("name", ["binary", "t0"])
+    @pytest.mark.parametrize("side", ["encoder", "decoder"])
+    def test_documented_tolerance_holds(self, name, side):
+        builders = ENCODER_BUILDERS if side == "encoder" else DECODER_BUILDERS
+        circuit = builders[name](16)
+        report = check_agreement(circuit.netlist, cycles=600, seed=0)
+        assert report.ok, report.render(verbose=True)
+        assert not report.warnings, report.render(verbose=True)
+
+    @pytest.mark.parametrize("name", sorted(ENCODER_BUILDERS))
+    def test_every_encoder_within_documented_tolerance(self, name):
+        circuit = ENCODER_BUILDERS[name](16)
+        report = check_agreement(circuit.netlist, cycles=400, seed=1)
+        assert report.ok, report.render(verbose=True)
+
+    def test_binary_is_nearly_exact(self):
+        """A feed-forward buffer circuit satisfies independence exactly."""
+        circuit = ENCODER_BUILDERS["binary"](16)
+        vectors = random_vectors(len(circuit.netlist.inputs), 500, seed=2)
+        agreement = compare_with_simulation(circuit.netlist, vectors)
+        assert agreement.mean_absolute_error < 0.02
+        assert agreement.max_absolute_error < 0.05
+
+    def test_tolerances_fall_back_to_strict_default(self):
+        assert tolerances_for("binary-encoder") == (0.02, 0.05)
+        assert tolerances_for("never-heard-of-it") == (0.05, 0.35)
+
+    def test_every_builtin_circuit_has_documented_tolerance(self):
+        for name, builder in ENCODER_BUILDERS.items():
+            assert builder(4).netlist.name in AGREEMENT_TOLERANCES
+        for name, builder in DECODER_BUILDERS.items():
+            assert builder(4).netlist.name in AGREEMENT_TOLERANCES
+
+    def test_disagreement_is_reported(self):
+        """An out-of-tolerance circuit produces an AC001 error."""
+        circuit = ENCODER_BUILDERS["bus-invert"](16)
+        report = check_agreement(
+            circuit.netlist, cycles=400, seed=0, mean_tolerance=1e-6
+        )
+        assert not report.ok
+        assert report.errors[0].rule == "AC001"
+
+    def test_worst_net_is_named(self):
+        circuit = ENCODER_BUILDERS["t0"](8)
+        vectors = random_vectors(len(circuit.netlist.inputs), 300, seed=0)
+        agreement = compare_with_simulation(circuit.netlist, vectors)
+        assert agreement.worst_net in [
+            circuit.netlist.net_name(n)
+            for n in range(circuit.netlist.net_count)
+        ]

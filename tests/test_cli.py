@@ -131,6 +131,107 @@ class TestNewCommands:
         assert "pareto front" in out
         assert "recommendation" in out
 
+    def test_lint_clean_tree(self, capsys):
+        """The shipped circuits and codecs carry zero errors (ISSUE gate)."""
+        assert (
+            main(
+                [
+                    "lint",
+                    "--codecs",
+                    "binary",
+                    "t0",
+                    "--width",
+                    "8",
+                    "--cycles",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+        assert "0 warnings" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "lint",
+                    "--codecs",
+                    "binary",
+                    "--width",
+                    "4",
+                    "--cycles",
+                    "200",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 0
+        assert doc["summary"]["targets"] == len(doc["reports"])
+        assert all(report["ok"] for report in doc["reports"])
+
+    def test_lint_unknown_codec(self, capsys):
+        assert main(["lint", "--codecs", "nosuch"]) == 2
+        assert "nosuch" in capsys.readouterr().err
+
+    def test_lint_seeded_defect_fails(self, capsys):
+        """A registry entry violating the codec contract turns the exit
+        code nonzero — the CLI surfaces analysis errors."""
+        from repro.core import registry
+        from repro.core.base import (
+            BusDecoder,
+            BusEncoder,
+            Codec,
+            SEL_INSTRUCTION,
+        )
+        from repro.core.word import EncodedWord
+
+        class _Enc(BusEncoder):
+            def reset(self):
+                pass
+
+            def encode(self, address, sel=SEL_INSTRUCTION):
+                return EncodedWord(bus=address)
+
+        class _Dec(BusDecoder):
+            def reset(self):
+                pass
+
+            def decode(self, word, sel=SEL_INSTRUCTION):
+                return 0 if word.bus == 1 else word.bus
+
+        @registry.register_codec("cli-broken")
+        def _broken(width):
+            return Codec(
+                name="cli-broken",
+                width=width,
+                encoder_factory=lambda: _Enc(width),
+                decoder_factory=lambda: _Dec(width),
+            )
+
+        try:
+            code = main(
+                [
+                    "lint",
+                    "--codecs",
+                    "cli-broken",
+                    "--skip-netlint",
+                    "--skip-activity",
+                    "--contract-width",
+                    "3",
+                ]
+            )
+        finally:
+            del registry._REGISTRY["cli-broken"]
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CC004" in out
+
     def test_export(self, capsys, tmp_path):
         import json
 

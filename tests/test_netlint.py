@@ -1,0 +1,214 @@
+"""Netlist linter: clean built-ins, seeded defects, validate() messages."""
+
+import pytest
+
+from repro.analysis import Severity, lint_circuit, lint_netlist
+from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
+from repro.rtl.gates import AND2, BUF, XOR2
+from repro.rtl.netlist import Netlist
+
+
+def _rules(report):
+    return [finding.rule for finding in report.findings]
+
+
+class TestBuiltinCircuitsAreClean:
+    """Every shipped codec circuit passes every rule at every width."""
+
+    @pytest.mark.parametrize("name", sorted(ENCODER_BUILDERS))
+    @pytest.mark.parametrize("width", [4, 16, 32])
+    def test_encoder_clean(self, name, width):
+        report = lint_circuit(ENCODER_BUILDERS[name](width))
+        assert report.ok, report.render(verbose=True)
+        assert not report.warnings, report.render(verbose=True)
+
+    @pytest.mark.parametrize("name", sorted(DECODER_BUILDERS))
+    @pytest.mark.parametrize("width", [4, 16, 32])
+    def test_decoder_clean(self, name, width):
+        report = lint_circuit(DECODER_BUILDERS[name](width))
+        assert report.ok, report.render(verbose=True)
+        assert not report.warnings, report.render(verbose=True)
+
+
+class TestSeededDefects:
+    """Each rule fires on a netlist constructed to violate exactly it."""
+
+    def test_nl001_undriven_flop(self):
+        nl = Netlist("seeded")
+        nl.add_dff(name="orphan_q")
+        report = lint_netlist(nl)
+        assert "NL001" in _rules(report)
+        assert not report.ok
+        (finding,) = report.errors
+        assert "orphan_q" in finding.message
+
+    def test_nl002_combinational_loop(self):
+        nl = Netlist("seeded")
+        a = nl.add_input("a")
+        first = nl.add_gate(BUF, a)
+        second = nl.add_gate(BUF, first)
+        nl.mark_output(second, "out")
+        # The public API cannot build a loop (fanins must exist), so seed
+        # one the way a corrupted import would: rewire gate 0 to read the
+        # output of gate 1.
+        nl._gates[0].inputs = (nl._gates[1].output,)
+        report = lint_netlist(nl)
+        assert "NL002" in _rules(report)
+        assert not report.ok
+
+    def test_nl003_arity_mismatch(self):
+        nl = Netlist("seeded")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        out = nl.add_gate(AND2, a, b)
+        nl.mark_output(out, "out")
+        nl._gates[0].inputs = (a,)  # drop a fanin behind the API's back
+        report = lint_netlist(nl)
+        assert "NL003" in _rules(report)
+        assert not report.ok
+
+    def test_nl004_dead_gate(self):
+        nl = Netlist("seeded")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.add_gate(XOR2, a, b, name="dead")
+        live = nl.add_gate(AND2, a, b)
+        nl.mark_output(live, "out")
+        report = lint_netlist(nl)
+        assert "NL004" in _rules(report)
+        assert report.ok  # warning, not error
+        assert any("dead" in f.message for f in report.warnings)
+
+    def test_nl005_floating_input(self):
+        nl = Netlist("seeded")
+        nl.add_input("used")
+        nl.add_input("floating")
+        nl.mark_output(nl.add_gate(BUF, 0), "out")
+        report = lint_netlist(nl)
+        assert "NL005" in _rules(report)
+        assert any("floating" in f.message for f in report.warnings)
+
+    def test_nl006_duplicate_output_name(self):
+        nl = Netlist("seeded")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.mark_output(a, "out")
+        nl.mark_output(b, "out")
+        report = lint_netlist(nl)
+        assert "NL006" in _rules(report)
+
+    def test_nl007_constant_foldable(self):
+        nl = Netlist("seeded")
+        folded = nl.add_gate(AND2, nl.const(0), nl.const(1))
+        nl.mark_output(folded, "out")
+        report = lint_netlist(nl)
+        assert "NL007" in _rules(report)
+        assert report.ok  # info only
+
+    def test_nl008_anonymous_net(self):
+        nl = Netlist("seeded")
+        anon = nl.add_input("")
+        nl.mark_output(anon, "out")
+        report = lint_netlist(nl)
+        assert "NL008" in _rules(report)
+
+    def test_clean_netlist_has_no_findings(self):
+        nl = Netlist("clean")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.mark_output(nl.add_gate(AND2, a, b), "out")
+        report = lint_netlist(nl)
+        assert report.findings == []
+
+
+class _FakeCircuit:
+    def __init__(self, netlist, width, extra_lines, uses_sel=False):
+        self.name = netlist.name
+        self.netlist = netlist
+        self.width = width
+        self.extra_lines = extra_lines
+        if uses_sel:
+            self.uses_sel = uses_sel
+
+
+class TestCircuitContracts:
+    def _encoder_like(self, width, outputs, extra_lines):
+        nl = Netlist("fake-encoder")
+        word = nl.add_inputs("A", width)
+        for index, name in enumerate(outputs):
+            nl.mark_output(nl.add_gate(BUF, word[index % width]), name)
+        return _FakeCircuit(nl, width, extra_lines, uses_sel=True)
+
+    def test_ck001_missing_outputs(self):
+        circuit = self._encoder_like(
+            4, [f"B[{i}]" for i in range(3)], extra_lines=("INV",)
+        )
+        report = lint_circuit(circuit)
+        assert "CK001" in _rules(report)
+        assert not report.ok
+
+    def test_ck002_undeclared_extra_line(self):
+        circuit = self._encoder_like(
+            4, [f"B[{i}]" for i in range(4)] + ["OTHER"], extra_lines=("INV",)
+        )
+        report = lint_circuit(circuit)
+        assert "CK002" in _rules(report)
+
+    def test_matching_circuit_passes(self):
+        circuit = self._encoder_like(
+            4, [f"B[{i}]" for i in range(4)] + ["INV"], extra_lines=("INV",)
+        )
+        report = lint_circuit(circuit)
+        assert "CK001" not in _rules(report)
+        assert "CK002" not in _rules(report)
+
+
+class TestValidate:
+    """Satellite: simulate() on an incomplete netlist names the flop."""
+
+    def test_validate_names_undriven_flop(self):
+        nl = Netlist("incomplete")
+        nl.add_input("a")
+        handle, q = nl.add_dff(name="state_q")
+        with pytest.raises(ValueError, match="state_q"):
+            nl.simulate([[0], [1]])
+
+    def test_validate_counts_all_undriven(self):
+        nl = Netlist("incomplete")
+        nl.add_dff(name="first_q")
+        nl.add_dff(name="second_q")
+        with pytest.raises(ValueError, match="2 DFF"):
+            nl.validate()
+
+    def test_complete_netlist_validates(self):
+        nl = Netlist("complete")
+        a = nl.add_input("a")
+        handle, q = nl.add_dff(name="q")
+        nl.drive_dff(handle, a)
+        nl.mark_output(q, "out")
+        nl.validate()
+        result = nl.simulate([[1], [0], [1]])
+        assert [row[0] for row in result.outputs] == [0, 1, 0]
+
+
+class TestReportRendering:
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_render_marks_failures(self):
+        nl = Netlist("seeded")
+        nl.add_dff(name="orphan")
+        report = lint_netlist(nl)
+        text = report.render()
+        assert "FAIL" in text
+        assert "NL001" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        nl = Netlist("seeded")
+        nl.add_dff(name="orphan")
+        doc = json.loads(json.dumps(lint_netlist(nl).to_dict()))
+        assert doc["ok"] is False
+        assert doc["findings"][0]["rule"] == "NL001"
+        assert doc["findings"][0]["severity"] == "error"
