@@ -53,6 +53,7 @@ else
 fi
 
 run_step "repro-bus lint --all" python -m repro lint --all
+run_step "repro-bus prove --fast" python -m repro prove --fast
 run_step "pytest (tier 1)" python -m pytest -x -q tests
 
 echo

@@ -1,8 +1,9 @@
-"""Static analysis passes: netlist lint, activity analysis, codec contracts.
+"""Static analysis passes: lint, activity, contracts, formal verification.
 
-Three independent correctness tools over the package's two codec surfaces
+Four independent correctness tools over the package's two codec surfaces
 (the gate-level circuits in :mod:`repro.rtl` and the behavioural codecs in
-:mod:`repro.core`), exposed together through ``repro-bus lint``:
+:mod:`repro.core`), exposed through ``repro-bus lint`` and ``repro-bus
+prove``:
 
 * :mod:`repro.analysis.netlint` — structural rules over
   :class:`~repro.rtl.netlist.Netlist` (undriven flops, dead gates,
@@ -10,7 +11,13 @@ Three independent correctness tools over the package's two codec surfaces
 * :mod:`repro.analysis.activity` — probabilistic switching-activity
   estimation cross-checked against the cycle-based simulator, ``AC*``;
 * :mod:`repro.analysis.contracts` — encoder/decoder contract checking with
-  exhaustive small-width state exploration, ``CC*``.
+  exhaustive small-width state exploration, ``CC*``;
+* :mod:`repro.analysis.formal` — symbolic equivalence against word-level
+  specs and k-induction proofs of ``decode(encode(a)) == a`` at full bus
+  width (BDD engine with CDCL SAT fallback), ``FV*``.  Deliberately *not*
+  re-exported here: ``repro-bus lint`` should not pay for the solver
+  imports, and the formal surface lives behind
+  ``from repro.analysis.formal import ...``.
 
 The rule catalog is documented in ``docs/analysis.md``.
 """

@@ -21,6 +21,12 @@ CC006     warning   encoder instance and :class:`Codec` metadata disagree
                     on the redundant-line names
 CC007     info      state exploration truncated at the state cap (coverage
                     reported) — raise ``max_states`` for a full proof
+CC008     error     a formally found counterexample (``repro-bus prove``)
+                    also reproduces against the behavioural models — the
+                    defect is in the shared protocol, not just the RTL
+CC009     info      a formal counterexample replayed clean against the
+                    behavioural models (RTL-only defect), or carried no
+                    address stream to replay; kept as a regression vector
 ========  ========  ======================================================
 
 Exploration is a breadth-first search over the *joint* encoder+decoder
@@ -310,6 +316,95 @@ def explore_state_space(
         states=len(seen), transitions=transitions, truncated=truncated
     )
     return stats, violations
+
+
+def replay_formal_counterexamples(
+    replays: List[Dict[str, object]],
+    max_replays: int = 32,
+) -> AnalysisReport:
+    """Consume formal counterexamples as behavioural regression vectors.
+
+    ``replays`` are the JSON replay payloads attached to ``repro-bus
+    prove`` findings (see :func:`repro.analysis.formal.collect_replays`):
+    each carries a codec name, the primary-input order and a per-cycle
+    vector list.  Every replay whose inputs form an address stream is
+    driven through a fresh behavioural encoder/decoder pair from reset; a
+    roundtrip failure there (CC008) means the defect the formal engine
+    found lives in the shared protocol semantics, not merely in the
+    gate-level implementation (CC009).
+    """
+    report = AnalysisReport(
+        target="formal-counterexamples", pass_name="contracts"
+    )
+    for replay in replays[:max_replays]:
+        codec_name = replay.get("codec")
+        input_order = list(replay.get("input_order") or ())
+        vectors = [list(v) for v in (replay.get("vectors") or ())]
+        position = {name: i for i, name in enumerate(input_order)}
+        width = sum(1 for name in input_order if name.startswith("b["))
+        if not isinstance(codec_name, str) or not width or not vectors:
+            report.add(
+                "CC009",
+                Severity.INFO,
+                "replay carries no address stream (decoder-side or "
+                "state-relative counterexample) — nothing to drive through "
+                "the behavioural models",
+                subjects=(str(codec_name),),
+            )
+            continue
+        addresses = [
+            sum(vector[position[f"b[{i}]"]] << i for i in range(width))
+            for vector in vectors
+        ]
+        sel_index = position.get("SEL")
+        sels = [
+            vector[sel_index] if sel_index is not None else 1
+            for vector in vectors
+        ]
+        try:
+            codec = make_codec(codec_name, width)
+            encoder = codec.make_encoder()
+            decoder = codec.make_decoder()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            report.add(
+                "CC008",
+                Severity.ERROR,
+                f"cannot rebuild codec {codec_name!r} at width {width} to "
+                f"replay a formal counterexample: "
+                f"{type(exc).__name__}: {exc}",
+                subjects=(codec_name,),
+            )
+            continue
+        encoder.reset()
+        decoder.reset()
+        mismatch = None
+        for cycle, (address, sel) in enumerate(zip(addresses, sels)):
+            decoded = decoder.decode(encoder.encode(address, sel), sel)
+            if decoded != address:
+                mismatch = (cycle, address, decoded)
+                break
+        if mismatch is not None:
+            cycle, address, decoded = mismatch
+            report.add(
+                "CC008",
+                Severity.ERROR,
+                f"formal counterexample reproduces against the behavioural "
+                f"models: encode({address:#x}) decoded to {decoded:#x} at "
+                f"cycle {cycle} — the defect is in the protocol itself",
+                subjects=(codec_name,),
+                data={"replay": replay},
+            )
+        else:
+            report.add(
+                "CC009",
+                Severity.INFO,
+                f"formal counterexample for {codec_name!r} replays clean "
+                f"against the behavioural models over {len(addresses)} "
+                "cycles — the defect is RTL-only; vector kept as a "
+                "regression",
+                subjects=(codec_name,),
+            )
+    return report
 
 
 def check_all_codecs(

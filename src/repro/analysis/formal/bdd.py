@@ -1,0 +1,310 @@
+"""Reduced ordered BDDs with hash-consing and memoized apply.
+
+A deliberately small engine tuned for the codec-verification workload:
+
+* **hash-consing** — one node table per :class:`BDD`, keyed by
+  ``(level, low, high)``, so equality of functions is pointer equality and
+  an equivalence check is ``compile(impl) == compile(spec)``;
+* **memoized operations** — ``AND``/``XOR``/``NOT`` each carry an
+  operation cache; ``ITE`` is derived.  With the caches, building a miter
+  over two structurally different implementations of the same function
+  costs roughly the product of their *profile* widths, not ``2^n``;
+* **static variable ordering** — the order is fixed at construction.
+  :func:`repro.analysis.formal.symbolic.interleaved_order` supplies the
+  datapath-aware interleaving (bit ``i`` of every word adjacent) that keeps
+  comparators, adders and threshold functions polynomial;
+* **node budget** — :class:`BddBlowup` is raised when the table exceeds
+  ``node_limit``, letting callers fall back to the SAT backend instead of
+  thrashing.
+
+Terminals are node ids ``0`` (FALSE) and ``1`` (TRUE); variables live at
+levels ``0 .. n-1`` from the top, terminals at level ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.formal.expr import AND, CONST, NOT, VAR, XOR, Context, ExprId
+
+BddNode = int
+
+#: Default unique-table budget; the full 32-bit sequential proofs stay an
+#: order of magnitude below this, so hitting it signals a genuine blowup.
+DEFAULT_NODE_LIMIT = 4_000_000
+
+
+class BddBlowup(RuntimeError):
+    """The unique table outgrew the node budget."""
+
+
+class BDD:
+    """A reduced ordered BDD manager over a fixed variable order."""
+
+    FALSE: BddNode = 0
+    TRUE: BddNode = 1
+
+    def __init__(
+        self, var_order: Sequence[str], node_limit: int = DEFAULT_NODE_LIMIT
+    ):
+        if len(set(var_order)) != len(var_order):
+            raise ValueError("variable order contains duplicates")
+        self._names: List[str] = list(var_order)
+        self._level: Dict[str, int] = {n: i for i, n in enumerate(self._names)}
+        self.node_limit = node_limit
+        terminal_level = len(self._names)
+        # Parallel node arrays; ids 0/1 are the terminals.
+        self._var: List[int] = [terminal_level, terminal_level]
+        self._lo: List[BddNode] = [0, 1]
+        self._hi: List[BddNode] = [0, 1]
+        self._unique: Dict[Tuple[int, BddNode, BddNode], BddNode] = {}
+        self._and_memo: Dict[Tuple[BddNode, BddNode], BddNode] = {}
+        self._xor_memo: Dict[Tuple[BddNode, BddNode], BddNode] = {}
+        self._not_memo: Dict[BddNode, BddNode] = {}
+        self._var_nodes: Dict[str, BddNode] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_var(self, name: str) -> BddNode:
+        """Append ``name`` at the bottom of the order (for late variables)."""
+        if name in self._level:
+            return self.var(name)
+        self._level[name] = len(self._names)
+        self._names.append(name)
+        terminal_level = len(self._names)
+        self._var[0] = terminal_level
+        self._var[1] = terminal_level
+        return self.var(name)
+
+    def var(self, name: str) -> BddNode:
+        node = self._var_nodes.get(name)
+        if node is None:
+            node = self._mk(self._level[name], self.FALSE, self.TRUE)
+            self._var_nodes[name] = node
+        return node
+
+    def _mk(self, level: int, lo: BddNode, hi: BddNode) -> BddNode:
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if len(self._var) >= self.node_limit:
+            raise BddBlowup(
+                f"BDD unique table exceeded {self.node_limit} nodes"
+            )
+        self._var.append(level)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        node = len(self._var) - 1
+        self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def neg(self, f: BddNode) -> BddNode:
+        if f <= 1:
+            return 1 - f
+        result = self._not_memo.get(f)
+        if result is None:
+            result = self._mk(
+                self._var[f], self.neg(self._lo[f]), self.neg(self._hi[f])
+            )
+            self._not_memo[f] = result
+            self._not_memo[result] = f
+        return result
+
+    def apply_and(self, f: BddNode, g: BddNode) -> BddNode:
+        if f == self.FALSE or g == self.FALSE:
+            return self.FALSE
+        if f == self.TRUE:
+            return g
+        if g == self.TRUE or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        result = self._and_memo.get(key)
+        if result is None:
+            level = min(self._var[f], self._var[g])
+            f0, f1 = (
+                (self._lo[f], self._hi[f]) if self._var[f] == level else (f, f)
+            )
+            g0, g1 = (
+                (self._lo[g], self._hi[g]) if self._var[g] == level else (g, g)
+            )
+            result = self._mk(
+                level, self.apply_and(f0, g0), self.apply_and(f1, g1)
+            )
+            self._and_memo[key] = result
+        return result
+
+    def apply_xor(self, f: BddNode, g: BddNode) -> BddNode:
+        if f == self.FALSE:
+            return g
+        if g == self.FALSE:
+            return f
+        if f == self.TRUE:
+            return self.neg(g)
+        if g == self.TRUE:
+            return self.neg(f)
+        if f == g:
+            return self.FALSE
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        result = self._xor_memo.get(key)
+        if result is None:
+            level = min(self._var[f], self._var[g])
+            f0, f1 = (
+                (self._lo[f], self._hi[f]) if self._var[f] == level else (f, f)
+            )
+            g0, g1 = (
+                (self._lo[g], self._hi[g]) if self._var[g] == level else (g, g)
+            )
+            result = self._mk(
+                level, self.apply_xor(f0, g0), self.apply_xor(f1, g1)
+            )
+            self._xor_memo[key] = result
+        return result
+
+    def apply_or(self, f: BddNode, g: BddNode) -> BddNode:
+        return self.neg(self.apply_and(self.neg(f), self.neg(g)))
+
+    def ite(self, f: BddNode, g: BddNode, h: BddNode) -> BddNode:
+        return self.apply_or(
+            self.apply_and(f, g), self.apply_and(self.neg(f), h)
+        )
+
+    def xnor(self, f: BddNode, g: BddNode) -> BddNode:
+        return self.neg(self.apply_xor(f, g))
+
+    def implies(self, f: BddNode, g: BddNode) -> BddNode:
+        return self.apply_or(self.neg(f), g)
+
+    # ------------------------------------------------------------------
+    # Expression compilation
+    # ------------------------------------------------------------------
+
+    def compile(
+        self,
+        ctx: Context,
+        exprs: Sequence[ExprId],
+        cache: Optional[Dict[ExprId, BddNode]] = None,
+    ) -> List[BddNode]:
+        """Compile expression handles into BDD nodes (shared cache)."""
+        memo: Dict[ExprId, BddNode] = cache if cache is not None else {}
+        for root in exprs:
+            stack = [root]
+            while stack:
+                expr = stack.pop()
+                if expr in memo:
+                    continue
+                node = ctx.node(expr)
+                kind = node[0]
+                if kind == CONST:
+                    memo[expr] = self.TRUE if node[1] else self.FALSE
+                elif kind == VAR:
+                    memo[expr] = self.var(node[1])
+                elif kind == NOT:
+                    child = memo.get(node[1])
+                    if child is None:
+                        stack.append(expr)
+                        stack.append(node[1])
+                    else:
+                        memo[expr] = self.neg(child)
+                else:
+                    left = memo.get(node[1])
+                    right = memo.get(node[2])
+                    if left is None or right is None:
+                        stack.append(expr)
+                        if left is None:
+                            stack.append(node[1])
+                        if right is None:
+                            stack.append(node[2])
+                    elif kind == AND:
+                        memo[expr] = self.apply_and(left, right)
+                    elif kind == XOR:
+                        memo[expr] = self.apply_xor(left, right)
+                    else:  # pragma: no cover - exhaustive kinds
+                        raise ValueError(f"unknown expr node {node!r}")
+        return [memo[root] for root in exprs]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def restrict(self, f: BddNode, name: str, value: int) -> BddNode:
+        """Cofactor of ``f`` with variable ``name`` fixed to ``value``."""
+        target = self._level[name]
+        memo: Dict[BddNode, BddNode] = {}
+
+        def walk(node: BddNode) -> BddNode:
+            if node <= 1 or self._var[node] > target:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            if self._var[node] == target:
+                result = self._hi[node] if value else self._lo[node]
+            else:
+                result = self._mk(
+                    self._var[node],
+                    walk(self._lo[node]),
+                    walk(self._hi[node]),
+                )
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    def evaluate(self, f: BddNode, assignment: Mapping[str, int]) -> int:
+        """Concrete value of ``f`` under a full variable assignment."""
+        node = f
+        while node > 1:
+            name = self._names[self._var[node]]
+            node = self._hi[node] if assignment.get(name, 0) else self._lo[node]
+        return node
+
+    def sat_one(self, f: BddNode) -> Optional[Dict[str, int]]:
+        """One satisfying assignment (unmentioned variables default to 0)."""
+        if f == self.FALSE:
+            return None
+        assignment: Dict[str, int] = {}
+        node = f
+        while node > 1:
+            name = self._names[self._var[node]]
+            if self._hi[node] != self.FALSE:
+                assignment[name] = 1
+                node = self._hi[node]
+            else:
+                assignment[name] = 0
+                node = self._lo[node]
+        return assignment
+
+    def node_count(self, f: BddNode) -> int:
+        """Number of distinct nodes reachable from ``f`` (terminals excluded)."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return len(seen)
+
+    @property
+    def size(self) -> int:
+        """Total unique-table size (including terminals)."""
+        return len(self._var)
+
+    @property
+    def var_order(self) -> List[str]:
+        return list(self._names)

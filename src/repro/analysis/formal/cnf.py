@@ -1,0 +1,94 @@
+"""Tseitin transformation: expression DAGs → CNF.
+
+Each ``AND``/``XOR`` node gets one fresh CNF variable and the standard
+defining clauses (3 for AND, 4 for XOR); ``NOT`` nodes cost nothing — they
+map to a negated literal of their child, which is sound because the
+:class:`~repro.analysis.formal.expr.Context` constructors fold double
+negation and never intern constants below an operator.  The encoding is
+therefore linear in the DAG, not the tree: hash-consing upstream means a
+shared subcircuit is defined once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.formal.expr import AND, CONST, NOT, VAR, XOR, Context, ExprId
+
+
+@dataclass
+class Cnf:
+    """A CNF instance plus the variable maps needed to decode a model."""
+
+    num_vars: int = 0
+    clauses: List[List[int]] = field(default_factory=list)
+    #: Input variable name → CNF variable (for model extraction).
+    var_of_name: Dict[str, int] = field(default_factory=dict)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add(self, *lits: int) -> None:
+        self.clauses.append(list(lits))
+
+
+def tseitin(ctx: Context, expr: ExprId, cnf: Cnf, memo: Dict[ExprId, int]) -> int:
+    """Encode ``expr`` into ``cnf``; returns the literal equal to it.
+
+    ``memo`` maps expression handles to literals and may be shared across
+    calls on the same ``cnf`` so multiple roots reuse subcircuit encodings.
+    Constant roots are the caller's job (the constructors guarantee
+    constants never appear *inside* a DAG).
+    """
+    cached = memo.get(expr)
+    if cached is not None:
+        return cached
+    stack = [expr]
+    while stack:
+        current = stack.pop()
+        if current in memo:
+            continue
+        node = ctx.node(current)
+        kind = node[0]
+        if kind == CONST:
+            raise ValueError("constant inside a hash-consed DAG")
+        if kind == VAR:
+            name = node[1]
+            var = cnf.var_of_name.get(name)
+            if var is None:
+                var = cnf.new_var()
+                cnf.var_of_name[name] = var
+            memo[current] = var
+        elif kind == NOT:
+            child = memo.get(node[1])
+            if child is None:
+                stack.append(current)
+                stack.append(node[1])
+            else:
+                memo[current] = -child
+        else:
+            left = memo.get(node[1])
+            right = memo.get(node[2])
+            if left is None or right is None:
+                stack.append(current)
+                if left is None:
+                    stack.append(node[1])
+                if right is None:
+                    stack.append(node[2])
+                continue
+            out = cnf.new_var()
+            if kind == AND:
+                cnf.add(-out, left)
+                cnf.add(-out, right)
+                cnf.add(out, -left, -right)
+            elif kind == XOR:
+                cnf.add(-out, left, right)
+                cnf.add(-out, -left, -right)
+                cnf.add(out, -left, right)
+                cnf.add(out, left, -right)
+            else:  # pragma: no cover - exhaustive kinds
+                raise ValueError(f"unknown expr node {node!r}")
+            memo[current] = out
+    return memo[expr]

@@ -1,0 +1,296 @@
+"""Combinational equivalence: codec netlists vs. word-level specs.
+
+The check is a *complete* comparison of two Mealy machines that share a
+state encoding: for every primary output **and** every flop D function,
+build the miter ``impl XOR spec`` over free variables for the inputs and
+the current state, and prove it unsatisfiable.  Because the spec's state
+variables are keyed by the netlist's own flop names (``prev_addr[3]``,
+``inv_reg``, …) and the reset values are compared separately by the
+sequential checker, per-function miters over free state amount to full
+sequential equivalence — no reachability argument needed.
+
+Backends:
+
+* ``bdd`` — compile the miter into a shared :class:`BDD` under the
+  interleaved order; equivalence is ``node == FALSE``, a counterexample
+  is one ``sat_one`` walk.
+* ``sat`` — Tseitin-encode into a shared CNF and ask the CDCL solver.
+* ``auto`` (default) — BDD first; on :class:`BddBlowup` fall back to SAT
+  for the remaining functions and record the fallback.
+
+Counterexamples carry a ready-to-run :meth:`Netlist.simulate` replay when
+the mismatch is visible from the reset state (always true for
+combinational mismatches at reset, and the checker re-tries every
+counterexample at reset before giving up on a replay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.formal.bdd import BDD, DEFAULT_NODE_LIMIT, BddBlowup
+from repro.analysis.formal.cnf import Cnf, tseitin
+from repro.analysis.formal.expr import Context, ExprId
+from repro.analysis.formal.sat import SatSolver
+from repro.analysis.formal.specs import DEFAULT_STRIDE, build_spec
+from repro.analysis.formal.symbolic import LiftedCircuit, lift_circuit
+from repro.rtl.netlist import Netlist
+
+BACKEND_AUTO = "auto"
+BACKEND_BDD = "bdd"
+BACKEND_SAT = "sat"
+
+
+@dataclass
+class Counterexample:
+    """One input/state assignment where implementation and spec disagree."""
+
+    #: Which function disagreed: an output name or ``flop <q-net>``.
+    function: str
+    inputs: Dict[str, int]
+    state: Dict[str, int]
+    impl_value: int
+    spec_value: int
+    #: True when ``state`` is exactly the reset state, i.e. the mismatch
+    #: shows up on the very first cycle.
+    from_reset: bool
+    #: Ready-to-run reproduction (see :func:`make_replay`), present iff
+    #: ``from_reset`` — a non-reset state may be unreachable, so we only
+    #: promise replays we can actually drive through ``Netlist.simulate``.
+    replay: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.function,
+            "inputs": dict(self.inputs),
+            "state": dict(self.state),
+            "impl_value": self.impl_value,
+            "spec_value": self.spec_value,
+            "from_reset": self.from_reset,
+            "replay": self.replay,
+        }
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of checking one codec side against its spec."""
+
+    codec: str
+    role: str
+    width: int
+    #: Function label → backend that decided it (``bdd``/``sat``/``folded``).
+    backends: Dict[str, str] = field(default_factory=dict)
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    #: Number of functions where the BDD blew up and SAT took over.
+    fallbacks: int = 0
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.counterexamples
+
+    @property
+    def functions_checked(self) -> int:
+        return len(self.backends)
+
+
+def make_replay(
+    lifted: LiftedCircuit,
+    function: str,
+    vectors: List[List[int]],
+    expected: int,
+    observed: int,
+) -> Dict[str, object]:
+    """A JSON-ready ``Netlist.simulate`` reproduction recipe.
+
+    ``netlist.simulate(vectors)`` from reset reproduces the disagreement
+    at the last cycle; for primary-output functions the wrong value is in
+    the output trace directly, for flop D functions it is the value the
+    named register loads at the end of that cycle.
+    """
+    return {
+        "netlist": lifted.netlist.name,
+        "input_order": list(lifted.input_names),
+        "vectors": [list(v) for v in vectors],
+        "cycle": len(vectors) - 1,
+        "function": function,
+        "expected": expected,
+        "observed": observed,
+    }
+
+
+def _pairs(
+    lifted: LiftedCircuit, spec_outputs: Dict[str, ExprId],
+    spec_next: Dict[str, ExprId],
+) -> List[Tuple[str, ExprId, ExprId]]:
+    """(label, impl, spec) triples — outputs first, then flop D functions."""
+    missing = set(lifted.outputs) ^ set(spec_outputs)
+    if missing:
+        raise ValueError(
+            f"output mismatch between netlist and spec: {sorted(missing)}"
+        )
+    missing = set(lifted.next_state) ^ set(spec_next)
+    if missing:
+        raise ValueError(
+            f"state mismatch between netlist and spec: {sorted(missing)}"
+        )
+    pairs = [
+        (name, lifted.outputs[name], spec_outputs[name])
+        for name in lifted.outputs
+    ]
+    pairs.extend(
+        (f"flop {name}", lifted.next_state[name], spec_next[name])
+        for name in lifted.next_state
+    )
+    return pairs
+
+
+def _full_assignment(
+    lifted: LiftedCircuit, partial: Dict[str, int]
+) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, int]]:
+    """Complete a partial model; returns ``(full, inputs, state)``."""
+    inputs = {name: partial.get(name, 0) for name in lifted.input_names}
+    state = {name: partial.get(name, 0) for name in lifted.state_names}
+    full = dict(inputs)
+    full.update(state)
+    return full, inputs, state
+
+
+class _BddBackend:
+    def __init__(self, lifted: LiftedCircuit, node_limit: int):
+        self.bdd = BDD(lifted.var_order, node_limit=node_limit)
+        self.cache: Dict[ExprId, int] = {}
+        self.lifted = lifted
+
+    def check(self, ctx: Context, miter: ExprId) -> Optional[Dict[str, int]]:
+        """None when the miter is unsatisfiable, else a counterexample.
+
+        Prefers a counterexample at the reset state when one exists so the
+        caller can emit a replay.
+        """
+        node = self.bdd.compile(ctx, [miter], self.cache)[0]
+        if node == self.bdd.FALSE:
+            return None
+        at_reset = node
+        for name, init in self.lifted.init_state.items():
+            at_reset = self.bdd.restrict(at_reset, name, init)
+        if at_reset != self.bdd.FALSE:
+            model = self.bdd.sat_one(at_reset)
+            assert model is not None
+            model.update(self.lifted.init_state)
+            return model
+        model = self.bdd.sat_one(node)
+        assert model is not None
+        return model
+
+
+class _SatBackend:
+    def __init__(self, lifted: LiftedCircuit):
+        self.cnf = Cnf()
+        self.memo: Dict[ExprId, int] = {}
+        self.lifted = lifted
+
+    def _solve(self, assumptions: List[int]) -> Optional[Dict[str, int]]:
+        solver = SatSolver.from_cnf(self.cnf, assumptions)
+        model = solver.solve()
+        if model is None:
+            return None
+        return {
+            name: model.get(var, 0)
+            for name, var in self.cnf.var_of_name.items()
+        }
+
+    def check(self, ctx: Context, miter: ExprId) -> Optional[Dict[str, int]]:
+        lit = tseitin(ctx, miter, self.cnf, self.memo)
+        reset_lits = [lit]
+        for name, init in self.lifted.init_state.items():
+            var = self.cnf.var_of_name.get(name)
+            if var is None:
+                # The miter does not mention this flop; pin it by decree.
+                continue
+            reset_lits.append(var if init else -var)
+        model = self._solve(reset_lits)
+        if model is not None:
+            model.update(self.lifted.init_state)
+            return model
+        return self._solve([lit])
+
+
+def check_equivalence(
+    codec: str,
+    role: str,
+    netlist: Netlist,
+    width: int,
+    stride: int = DEFAULT_STRIDE,
+    backend: str = BACKEND_AUTO,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> EquivalenceResult:
+    """Prove ``netlist`` equal to the registered spec, or find witnesses.
+
+    Checks every primary output and every flop D function; collects **all**
+    disagreeing functions (one counterexample each) rather than stopping at
+    the first, so a report names every broken output bit at once.
+    """
+    if backend not in (BACKEND_AUTO, BACKEND_BDD, BACKEND_SAT):
+        raise ValueError(f"unknown backend {backend!r}")
+    lifted = lift_circuit(netlist)
+    ctx = lifted.ctx
+    input_map = {name: ctx.var(name) for name in lifted.input_names}
+    state_map = {name: ctx.var(name) for name in lifted.state_names}
+    spec = build_spec(codec, role, ctx, input_map, state_map, width, stride)
+    pairs = _pairs(lifted, spec.outputs, spec.next_state)
+
+    result = EquivalenceResult(codec=codec, role=role, width=width)
+    bdd_backend: Optional[_BddBackend] = (
+        _BddBackend(lifted, node_limit) if backend != BACKEND_SAT else None
+    )
+    sat_backend: Optional[_SatBackend] = None
+
+    for label, impl, spec_expr in pairs:
+        miter = ctx.xor(impl, spec_expr)
+        if miter == ctx.FALSE:
+            result.backends[label] = "folded"
+            continue
+        model: Optional[Dict[str, int]] = None
+        decided = False
+        if bdd_backend is not None:
+            try:
+                model = bdd_backend.check(ctx, miter)
+                result.backends[label] = BACKEND_BDD
+                decided = True
+            except BddBlowup:
+                if backend == BACKEND_BDD:
+                    raise
+                # The table is saturated; SAT takes over for good.
+                bdd_backend = None
+                result.fallbacks += 1
+        if not decided:
+            if sat_backend is None:
+                sat_backend = _SatBackend(lifted)
+            model = sat_backend.check(ctx, miter)
+            result.backends[label] = BACKEND_SAT
+        if model is None:
+            continue
+        full, inputs, state = _full_assignment(lifted, model)
+        impl_value, spec_value = ctx.evaluate_many([impl, spec_expr], full)
+        from_reset = all(
+            state[name] == init for name, init in lifted.init_state.items()
+        )
+        replay = None
+        if from_reset:
+            vector = [full[name] for name in lifted.input_names]
+            replay = make_replay(
+                lifted, label, [vector], spec_value, impl_value
+            )
+        result.counterexamples.append(
+            Counterexample(
+                function=label,
+                inputs=inputs,
+                state=state,
+                impl_value=impl_value,
+                spec_value=spec_value,
+                from_reset=from_reset,
+                replay=replay,
+            )
+        )
+    return result

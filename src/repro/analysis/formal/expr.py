@@ -1,0 +1,223 @@
+"""Hash-consed Boolean expression DAGs — the formal layer's IR.
+
+Every symbolic artifact in :mod:`repro.analysis.formal` — a lifted netlist
+net, a word-level spec function, a miter — is an integer handle into one
+:class:`Context`.  Nodes are structurally hash-consed (building ``a & b``
+twice yields the same handle) and the constructors apply the cheap local
+simplifications (constant folding, idempotence, ``x ^ x = 0``, double
+negation) that keep downstream BDD compilation and Tseitin encoding from
+chewing on trivial structure.
+
+The node vocabulary is deliberately tiny — ``VAR``, ``CONST``, ``NOT``,
+``AND``, ``XOR`` — with the rest of the gate library derived:
+``or(a, b) = ~(~a & ~b)``, ``mux(s, a, b) = b ^ (s & (a ^ b))``.  Both
+decision backends consume exactly these five shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+#: Node kinds (index 0 of each node tuple).
+VAR = "var"
+CONST = "const"
+NOT = "not"
+AND = "and"
+XOR = "xor"
+
+ExprId = int
+
+
+class Context:
+    """An arena of hash-consed Boolean expression nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: List[Tuple] = []
+        self._unique: Dict[Tuple, ExprId] = {}
+        self._var_ids: Dict[str, ExprId] = {}
+        self.FALSE = self._intern((CONST, 0))
+        self.TRUE = self._intern((CONST, 1))
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _intern(self, node: Tuple) -> ExprId:
+        found = self._unique.get(node)
+        if found is not None:
+            return found
+        self._nodes.append(node)
+        handle = len(self._nodes) - 1
+        self._unique[node] = handle
+        return handle
+
+    def node(self, expr: ExprId) -> Tuple:
+        return self._nodes[expr]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def var(self, name: str) -> ExprId:
+        """The variable named ``name`` (one node per distinct name)."""
+        found = self._var_ids.get(name)
+        if found is None:
+            found = self._intern((VAR, name))
+            self._var_ids[name] = found
+        return found
+
+    def var_names(self) -> List[str]:
+        return list(self._var_ids)
+
+    def const(self, value: int) -> ExprId:
+        return self.TRUE if value else self.FALSE
+
+    def _is_complement(self, a: ExprId, b: ExprId) -> bool:
+        return self._nodes[a] == (NOT, b) or self._nodes[b] == (NOT, a)
+
+    def not_(self, a: ExprId) -> ExprId:
+        if a == self.FALSE:
+            return self.TRUE
+        if a == self.TRUE:
+            return self.FALSE
+        node = self._nodes[a]
+        if node[0] == NOT:
+            return node[1]
+        return self._intern((NOT, a))
+
+    def and_(self, a: ExprId, b: ExprId) -> ExprId:
+        if a == self.FALSE or b == self.FALSE:
+            return self.FALSE
+        if a == self.TRUE:
+            return b
+        if b == self.TRUE:
+            return a
+        if a == b:
+            return a
+        if self._is_complement(a, b):
+            return self.FALSE
+        if a > b:
+            a, b = b, a
+        return self._intern((AND, a, b))
+
+    def xor(self, a: ExprId, b: ExprId) -> ExprId:
+        if a == self.FALSE:
+            return b
+        if b == self.FALSE:
+            return a
+        if a == self.TRUE:
+            return self.not_(b)
+        if b == self.TRUE:
+            return self.not_(a)
+        if a == b:
+            return self.FALSE
+        if self._is_complement(a, b):
+            return self.TRUE
+        if a > b:
+            a, b = b, a
+        return self._intern((XOR, a, b))
+
+    # Derived connectives -----------------------------------------------
+
+    def or_(self, a: ExprId, b: ExprId) -> ExprId:
+        return self.not_(self.and_(self.not_(a), self.not_(b)))
+
+    def xnor(self, a: ExprId, b: ExprId) -> ExprId:
+        return self.not_(self.xor(a, b))
+
+    def nand(self, a: ExprId, b: ExprId) -> ExprId:
+        return self.not_(self.and_(a, b))
+
+    def nor(self, a: ExprId, b: ExprId) -> ExprId:
+        return self.not_(self.or_(a, b))
+
+    def mux(self, select: ExprId, when_true: ExprId, when_false: ExprId) -> ExprId:
+        return self.xor(
+            when_false, self.and_(select, self.xor(when_true, when_false))
+        )
+
+    def implies(self, a: ExprId, b: ExprId) -> ExprId:
+        return self.or_(self.not_(a), b)
+
+    def and_all(self, terms: Iterable[ExprId]) -> ExprId:
+        result = self.TRUE
+        for term in terms:
+            result = self.and_(result, term)
+        return result
+
+    def or_all(self, terms: Iterable[ExprId]) -> ExprId:
+        result = self.FALSE
+        for term in terms:
+            result = self.or_(result, term)
+        return result
+
+    # ------------------------------------------------------------------
+    # Evaluation and inspection
+    # ------------------------------------------------------------------
+
+    def evaluate_many(
+        self, exprs: Sequence[ExprId], assignment: Mapping[str, int]
+    ) -> List[int]:
+        """Concrete 0/1 values of ``exprs`` under ``assignment``.
+
+        One shared memo serves the whole batch, so evaluating a circuit's
+        outputs and next-state functions together costs a single DAG sweep.
+        Unassigned variables raise ``KeyError`` — callers must supply every
+        boundary value, exactly like :meth:`Netlist.simulate`.
+        """
+        memo: Dict[ExprId, int] = {}
+        for root in exprs:
+            stack = [root]
+            while stack:
+                expr = stack.pop()
+                if expr in memo:
+                    continue
+                node = self._nodes[expr]
+                kind = node[0]
+                if kind == CONST:
+                    memo[expr] = node[1]
+                elif kind == VAR:
+                    memo[expr] = 1 if assignment[node[1]] else 0
+                elif kind == NOT:
+                    child = memo.get(node[1])
+                    if child is None:
+                        stack.append(expr)
+                        stack.append(node[1])
+                    else:
+                        memo[expr] = 1 - child
+                else:  # AND / XOR
+                    left = memo.get(node[1])
+                    right = memo.get(node[2])
+                    if left is None or right is None:
+                        stack.append(expr)
+                        if left is None:
+                            stack.append(node[1])
+                        if right is None:
+                            stack.append(node[2])
+                    elif kind == AND:
+                        memo[expr] = left & right
+                    else:
+                        memo[expr] = left ^ right
+        return [memo[root] for root in exprs]
+
+    def evaluate(self, expr: ExprId, assignment: Mapping[str, int]) -> int:
+        return self.evaluate_many([expr], assignment)[0]
+
+    def support(self, exprs: Sequence[ExprId]) -> List[str]:
+        """Variable names the expressions actually depend on."""
+        seen: set = set()
+        names: List[str] = []
+        stack = list(exprs)
+        while stack:
+            expr = stack.pop()
+            if expr in seen:
+                continue
+            seen.add(expr)
+            node = self._nodes[expr]
+            if node[0] == VAR:
+                names.append(node[1])
+            elif node[0] == NOT:
+                stack.append(node[1])
+            elif node[0] in (AND, XOR):
+                stack.append(node[1])
+                stack.append(node[2])
+        return sorted(set(names))

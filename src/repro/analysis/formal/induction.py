@@ -1,0 +1,573 @@
+"""Sequential verification: BMC and k-induction over codec pairs.
+
+The theorem of interest is end-to-end transparency — from every reachable
+joint state of encoder and decoder, ``decode(encode(a)) == a`` — plus the
+redundant-line protocol invariants (T0's ``INC`` freezes the bus, dual
+T0_BI's shared ``INCV`` switches meaning with ``SEL``).
+
+Plain induction fails for every stateful codec: an arbitrary state can
+desynchronize the encoder's reference register from the decoder's copy,
+producing spurious one-step counterexamples at any ``k``.  The checker
+therefore strengthens the property with an **auto-lemma**: equality of
+like-named mirrored registers (``prev_addr``/``ref_addr``) on the two
+sides.  ``lemma AND property`` is inductive at ``k = 1`` for every codec
+in the tree; the lemma's own base case is discharged by the reset-state
+comparison and the BMC run.
+
+Mechanics: the joint machine is unrolled at the expression level with a
+fresh variable per flop per step (``enc.prev_addr@1[3]``) and a recorded
+definition for each.  Decisions run on BDDs where definitions are
+*seeded into the compile cache* — substitution by memoization.  When a
+definition's BDD outgrows ``cut_threshold``, it is left unseeded and its
+variable stays free: a **cut point**.  Cuts over-approximate the
+reachable behaviour, so UNSAT (proved) verdicts survive them; models are
+validated against the exact definitions and the check retried without
+cuts (then via SAT) when the model turns out spurious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.formal.bdd import BDD, DEFAULT_NODE_LIMIT, BddBlowup
+from repro.analysis.formal.cnf import Cnf, tseitin
+from repro.analysis.formal.expr import Context, ExprId
+from repro.analysis.formal.sat import SatSolver
+from repro.analysis.formal.specs import DEFAULT_STRIDE, protocol_properties
+from repro.analysis.formal.symbolic import (
+    _INDEXED,
+    interleaved_order,
+    lift,
+    lift_circuit,
+)
+from repro.rtl.netlist import Netlist
+
+#: Definitions whose BDDs exceed this many nodes become cut points.
+DEFAULT_CUT_THRESHOLD = 30_000
+
+
+def step_var(prefix: str, name: str, step: int) -> str:
+    """Per-step variable name, keeping the bit index outermost.
+
+    ``prev_addr[3]`` at step 1 on the encoder side becomes
+    ``enc.prev_addr@1[3]`` — the trailing ``[3]`` is what
+    :func:`interleaved_order` keys on, so corresponding bits of every
+    word stay adjacent in the BDD order across steps and sides.
+    """
+    match = _INDEXED.match(name)
+    if match:
+        return f"{prefix}{match.group('base')}@{step}[{match.group('index')}]"
+    return f"{prefix}{name}@{step}"
+
+
+@dataclass
+class SequentialCounterexample:
+    """A concrete disproof trace, replayable from reset."""
+
+    cycle: int
+    #: Which guarantee broke: ``roundtrip``, ``lemma`` or a protocol text.
+    property: str
+    #: Per-cycle named encoder-input values.
+    inputs: List[Dict[str, int]]
+    replay: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycle": self.cycle,
+            "property": self.property,
+            "inputs": [dict(v) for v in self.inputs],
+            "replay": self.replay,
+        }
+
+
+@dataclass
+class ProtocolFailure:
+    """A redundant-line invariant violated at some input/state."""
+
+    description: str
+    inputs: Dict[str, int]
+    state: Dict[str, int]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "description": self.description,
+            "inputs": dict(self.inputs),
+            "state": dict(self.state),
+        }
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of the sequential checks for one codec pair."""
+
+    codec: str
+    width: int
+    bmc_depth: int
+    bmc_violation: Optional[SequentialCounterexample] = None
+    #: The ``k`` at which induction closed, or None if inconclusive.
+    induction_k: Optional[int] = None
+    k_max: int = 0
+    #: Mirrored registers the auto-lemma equates.
+    lemma_flops: List[str] = field(default_factory=list)
+    #: Shared flops whose reset values differ (breaks the lemma base).
+    reset_mismatches: List[str] = field(default_factory=list)
+    protocol_checked: int = 0
+    protocol_failures: List[ProtocolFailure] = field(default_factory=list)
+    cuts_used: int = 0
+    sat_fallbacks: int = 0
+
+    @property
+    def proven(self) -> bool:
+        return (
+            self.induction_k is not None
+            and self.bmc_violation is None
+            and not self.reset_mismatches
+            and not self.protocol_failures
+        )
+
+
+class _Unrolling:
+    """The joint encoder+decoder machine unrolled over ``depth`` steps."""
+
+    def __init__(
+        self,
+        ctx: Context,
+        encoder: Netlist,
+        decoder: Netlist,
+        depth: int,
+        free_state: bool,
+    ):
+        self.ctx = ctx
+        self.encoder = encoder
+        self.decoder = decoder
+        #: Defined variable name → definition expression, in dependency
+        #: (step) order.  Empty values never occur; dict order matters.
+        self.defs: Dict[str, ExprId] = {}
+        self.free_vars: List[str] = []
+        #: Per-step π (roundtrip) and lemma expressions.
+        self.pi: List[ExprId] = []
+        self.lemma: List[ExprId] = []
+        #: Per-step encoder-input variable names, in netlist input order.
+        self.input_names: List[List[str]] = []
+        self.enc_input_order = [
+            encoder.net_name(net) for net in encoder.inputs
+        ]
+        self.width = sum(
+            1 for name in self.enc_input_order if name.startswith("b[")
+        )
+
+        enc_state_names = [
+            encoder.net_name(q) for _, q, _ in encoder.flops
+        ]
+        dec_state_names = [
+            decoder.net_name(q) for _, q, _ in decoder.flops
+        ]
+        self.shared_flops = sorted(
+            set(enc_state_names) & set(dec_state_names)
+        )
+
+        def boundary(
+            prefix: str, names: List[str], inits: Dict[str, int]
+        ) -> Dict[str, ExprId]:
+            bound: Dict[str, ExprId] = {}
+            for name in names:
+                if free_state:
+                    var_name = step_var(prefix, name, 0)
+                    bound[name] = ctx.var(var_name)
+                    self.free_vars.append(var_name)
+                else:
+                    bound[name] = ctx.const(inits[name])
+            return bound
+
+        enc_inits = {
+            encoder.net_name(q): init for _, q, init in encoder.flops
+        }
+        dec_inits = {
+            decoder.net_name(q): init for _, q, init in decoder.flops
+        }
+        enc_state = boundary("enc.", enc_state_names, enc_inits)
+        dec_state = boundary("dec.", dec_state_names, dec_inits)
+
+        for t in range(depth):
+            step_inputs = {
+                name: ctx.var(step_var("", name, t))
+                for name in self.enc_input_order
+            }
+            names = [
+                step_var("", name, t) for name in self.enc_input_order
+            ]
+            self.free_vars.extend(names)
+            self.input_names.append(names)
+
+            self.lemma.append(
+                ctx.and_all(
+                    ctx.xnor(enc_state[name], dec_state[name])
+                    for name in self.shared_flops
+                )
+            )
+
+            enc_out, enc_next = lift(ctx, encoder, step_inputs, enc_state)
+            dec_inputs: Dict[str, ExprId] = {}
+            for net in decoder.inputs:
+                name = decoder.net_name(net)
+                if name in enc_out:
+                    dec_inputs[name] = enc_out[name]
+                elif name in step_inputs:
+                    dec_inputs[name] = step_inputs[name]
+                else:
+                    raise ValueError(
+                        f"decoder input {name!r} is neither an encoder "
+                        "output nor an encoder input"
+                    )
+            dec_out, dec_next = lift(ctx, decoder, dec_inputs, dec_state)
+
+            self.pi.append(
+                ctx.and_all(
+                    ctx.xnor(dec_out[f"addr[{i}]"], step_inputs[f"b[{i}]"])
+                    for i in range(self.width)
+                )
+            )
+
+            if t + 1 == depth:
+                continue  # nothing references the state after the last step
+
+            def advance(
+                prefix: str, next_exprs: Dict[str, ExprId]
+            ) -> Dict[str, ExprId]:
+                state: Dict[str, ExprId] = {}
+                for name, expr in next_exprs.items():
+                    var_name = step_var(prefix, name, t + 1)
+                    state[name] = ctx.var(var_name)
+                    self.defs[var_name] = expr
+                return state
+
+            enc_state = advance("enc.", enc_next)
+            dec_state = advance("dec.", dec_next)
+
+    @property
+    def var_order(self) -> List[str]:
+        return interleaved_order(self.free_vars + list(self.defs))
+
+    def exact_model_violates(
+        self, goal: ExprId, model: Dict[str, int]
+    ) -> bool:
+        """Replay ``model`` through the exact definitions; True iff the
+        goal really evaluates false (the model is not a cut artifact)."""
+        assignment = {name: model.get(name, 0) for name in self.free_vars}
+        for var_name, expr in self.defs.items():
+            assignment[var_name] = self.ctx.evaluate(expr, assignment)
+        return self.ctx.evaluate(goal, assignment) == 0
+
+
+class _Decider:
+    """Validity checks over an unrolling, with cuts and SAT fallback."""
+
+    def __init__(
+        self,
+        unrolling: _Unrolling,
+        node_limit: int,
+        cut_threshold: int,
+    ):
+        self.unrolling = unrolling
+        self.node_limit = node_limit
+        self.cut_threshold = cut_threshold
+        self.cuts_used = 0
+        self.sat_fallbacks = 0
+        self._cut_bdd: Optional[Tuple[BDD, Dict[ExprId, int]]] = None
+        self._exact_bdd: Optional[Tuple[BDD, Dict[ExprId, int]]] = None
+        self._cnf: Optional[Tuple[Cnf, Dict[ExprId, int]]] = None
+
+    def _bdd_with_defs(self, with_cuts: bool) -> Tuple[BDD, Dict[ExprId, int]]:
+        """A BDD whose compile cache substitutes flop definitions.
+
+        With cuts enabled, each definition compiles under a bounded table
+        growth budget; a definition that either exceeds the budget
+        mid-compile or produces an oversized BDD is *not* seeded — its
+        variable stays free, over-approximating the machine.
+        """
+        ctx = self.unrolling.ctx
+        bdd = BDD(self.unrolling.var_order, node_limit=self.node_limit)
+        cache: Dict[ExprId, int] = {}
+        for var_name, expr in self.unrolling.defs.items():
+            if with_cuts:
+                budget = min(self.node_limit, bdd.size + 4 * self.cut_threshold)
+                bdd.node_limit = budget
+                try:
+                    node = bdd.compile(ctx, [expr], cache)[0]
+                except BddBlowup:
+                    self.cuts_used += 1
+                    continue
+                finally:
+                    bdd.node_limit = self.node_limit
+                if bdd.node_count(node) > self.cut_threshold:
+                    self.cuts_used += 1
+                    continue  # leave the variable free: a cut point
+            else:
+                node = bdd.compile(ctx, [expr], cache)[0]
+            cache[ctx.var(var_name)] = node
+        return bdd, cache
+
+    def _sat_instance(self) -> Tuple[Cnf, Dict[ExprId, int]]:
+        """A CNF with every flop definition asserted as a biconditional."""
+        ctx = self.unrolling.ctx
+        cnf = Cnf()
+        memo: Dict[ExprId, int] = {}
+        for var_name, expr in self.unrolling.defs.items():
+            var = cnf.var_of_name.get(var_name)
+            if var is None:
+                var = cnf.new_var()
+                cnf.var_of_name[var_name] = var
+            if expr == ctx.TRUE:
+                cnf.add(var)
+                continue
+            if expr == ctx.FALSE:
+                cnf.add(-var)
+                continue
+            lit = tseitin(ctx, expr, cnf, memo)
+            cnf.add(-var, lit)
+            cnf.add(var, -lit)
+        return cnf, memo
+
+    def _decide_sat(self, goal: ExprId) -> Optional[Dict[str, int]]:
+        ctx = self.unrolling.ctx
+        if self._cnf is None:
+            self._cnf = self._sat_instance()
+        cnf, memo = self._cnf
+        negated = ctx.not_(goal)
+        if negated == ctx.FALSE:
+            return None
+        if negated == ctx.TRUE:
+            return {}
+        lit = tseitin(ctx, negated, cnf, memo)
+        solver = SatSolver.from_cnf(cnf, [lit])
+        model = solver.solve()
+        if model is None:
+            return None
+        return {
+            name: model.get(var, 0)
+            for name, var in cnf.var_of_name.items()
+        }
+
+    def check_valid(self, goal: ExprId) -> Optional[Dict[str, int]]:
+        """None when ``goal`` holds for every assignment, else a model of
+        its negation — validated against the exact definitions."""
+        ctx = self.unrolling.ctx
+        negated = ctx.not_(goal)
+        if negated == ctx.FALSE:
+            return None
+        if negated == ctx.TRUE:
+            return {}
+        try:
+            if self._cut_bdd is None:
+                self._cut_bdd = self._bdd_with_defs(with_cuts=True)
+            bdd, cache = self._cut_bdd
+            # Bound the goal compile too: a goal that needs more than this
+            # is cheaper to hand to the SAT backend than to thrash on.
+            bdd.node_limit = min(
+                self.node_limit, bdd.size + 16 * self.cut_threshold
+            )
+            try:
+                node = bdd.compile(ctx, [negated], cache)[0]
+            finally:
+                bdd.node_limit = self.node_limit
+            if node == bdd.FALSE:
+                return None
+            model = bdd.sat_one(node)
+            assert model is not None
+            if self.unrolling.exact_model_violates(goal, model):
+                return model
+            # Cut artifact: the abstraction was too coarse.  Retry exact.
+            if self._exact_bdd is None:
+                self._exact_bdd = self._bdd_with_defs(with_cuts=False)
+            bdd, cache = self._exact_bdd
+            node = bdd.compile(ctx, [negated], cache)[0]
+            if node == bdd.FALSE:
+                return None
+            model = bdd.sat_one(node)
+            assert model is not None
+            return model
+        except BddBlowup:
+            self.sat_fallbacks += 1
+            return self._decide_sat(goal)
+
+
+def _shared_reset_mismatches(
+    encoder: Netlist, decoder: Netlist
+) -> List[str]:
+    enc_inits = {encoder.net_name(q): init for _, q, init in encoder.flops}
+    dec_inits = {decoder.net_name(q): init for _, q, init in decoder.flops}
+    return sorted(
+        name
+        for name in set(enc_inits) & set(dec_inits)
+        if enc_inits[name] != dec_inits[name]
+    )
+
+
+def _check_protocol(
+    codec: str,
+    encoder: Netlist,
+    width: int,
+    node_limit: int,
+) -> Tuple[int, List[ProtocolFailure]]:
+    """Prove the redundant-line invariants over *all* states (they are
+    enforced combinationally by the output stage, so no reachability
+    argument is needed — see :func:`specs.protocol_properties`)."""
+    lifted = lift_circuit(encoder)
+    ctx = lifted.ctx
+    input_map = {name: ctx.var(name) for name in lifted.input_names}
+    state_map = {name: ctx.var(name) for name in lifted.state_names}
+    properties = protocol_properties(
+        codec, ctx, input_map, state_map, lifted.outputs, width
+    )
+    failures: List[ProtocolFailure] = []
+    bdd: Optional[BDD] = None
+    cache: Dict[ExprId, int] = {}
+    cnf: Optional[Cnf] = None
+    memo: Dict[ExprId, int] = {}
+    for description, expr in properties:
+        negated = ctx.not_(expr)
+        if negated == ctx.FALSE:
+            continue
+        model: Optional[Dict[str, int]] = None
+        if negated == ctx.TRUE:
+            model = {}
+        else:
+            try:
+                if cnf is None:
+                    if bdd is None:
+                        bdd = BDD(lifted.var_order, node_limit=node_limit)
+                    node = bdd.compile(ctx, [negated], cache)[0]
+                    model = bdd.sat_one(node) if node != bdd.FALSE else None
+                else:
+                    raise BddBlowup  # previous property already fell back
+            except BddBlowup:
+                if cnf is None:
+                    cnf = Cnf()
+                lit = tseitin(ctx, negated, cnf, memo)
+                sat_model = SatSolver.from_cnf(cnf, [lit]).solve()
+                model = (
+                    None
+                    if sat_model is None
+                    else {
+                        name: sat_model.get(var, 0)
+                        for name, var in cnf.var_of_name.items()
+                    }
+                )
+        if model is not None:
+            failures.append(
+                ProtocolFailure(
+                    description=description,
+                    inputs={
+                        name: model.get(name, 0)
+                        for name in lifted.input_names
+                    },
+                    state={
+                        name: model.get(name, 0)
+                        for name in lifted.state_names
+                    },
+                )
+            )
+    return len(properties), failures
+
+
+def _extract_trace(
+    unrolling: _Unrolling,
+    model: Dict[str, int],
+    cycle: int,
+    property_name: str,
+) -> SequentialCounterexample:
+    vectors: List[List[int]] = []
+    named: List[Dict[str, int]] = []
+    for names in unrolling.input_names[: cycle + 1]:
+        vectors.append([model.get(name, 0) for name in names])
+        named.append(
+            {
+                orig: model.get(name, 0)
+                for orig, name in zip(unrolling.enc_input_order, names)
+            }
+        )
+    replay: Dict[str, object] = {
+        "encoder": unrolling.encoder.name,
+        "decoder": unrolling.decoder.name,
+        "input_order": list(unrolling.enc_input_order),
+        "vectors": vectors,
+        "cycle": cycle,
+        "property": property_name,
+    }
+    return SequentialCounterexample(
+        cycle=cycle, property=property_name, inputs=named, replay=replay
+    )
+
+
+def check_sequential(
+    codec: str,
+    encoder: Netlist,
+    decoder: Netlist,
+    width: int,
+    stride: int = DEFAULT_STRIDE,
+    bmc_depth: int = 3,
+    k_max: int = 2,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    cut_threshold: int = DEFAULT_CUT_THRESHOLD,
+) -> SequentialResult:
+    """Run the full sequential battery for one codec pair.
+
+    1. reset-state comparison of mirrored registers (lemma base case);
+    2. protocol invariants over all states (combinational tautologies);
+    3. BMC from reset to ``bmc_depth`` — any violation is a definite bug
+       with a replayable trace;
+    4. k-induction (``k = 1 .. k_max``) of ``lemma AND roundtrip`` over a
+       free initial state — closing it extends the guarantee from the BMC
+       horizon to *every* reachable state, ``decode(encode(a)) == a``
+       forever.
+    """
+    result = SequentialResult(
+        codec=codec, width=width, bmc_depth=bmc_depth, k_max=k_max
+    )
+    result.reset_mismatches = _shared_reset_mismatches(encoder, decoder)
+    result.protocol_checked, result.protocol_failures = _check_protocol(
+        codec, encoder, width, node_limit
+    )
+
+    # --- BMC from reset -------------------------------------------------
+    ctx = Context()
+    unrolling = _Unrolling(ctx, encoder, decoder, bmc_depth, free_state=False)
+    result.lemma_flops = list(unrolling.shared_flops)
+    decider = _Decider(unrolling, node_limit, cut_threshold)
+    for t in range(bmc_depth):
+        for prop_name, goal in (
+            ("roundtrip", unrolling.pi[t]),
+            ("lemma", unrolling.lemma[t]),
+        ):
+            model = decider.check_valid(goal)
+            if model is not None:
+                result.bmc_violation = _extract_trace(
+                    unrolling, model, t, prop_name
+                )
+                break
+        if result.bmc_violation is not None:
+            break
+    result.cuts_used += decider.cuts_used
+    result.sat_fallbacks += decider.sat_fallbacks
+    if result.bmc_violation is not None:
+        return result
+
+    # --- k-induction over a free initial state --------------------------
+    for k in range(1, k_max + 1):
+        ctx = Context()
+        unrolling = _Unrolling(ctx, encoder, decoder, k + 1, free_state=True)
+        decider = _Decider(unrolling, node_limit, cut_threshold)
+        hypothesis = ctx.and_all(
+            ctx.and_(unrolling.lemma[j], unrolling.pi[j]) for j in range(k)
+        )
+        goal = ctx.implies(
+            hypothesis, ctx.and_(unrolling.lemma[k], unrolling.pi[k])
+        )
+        model = decider.check_valid(goal)
+        result.cuts_used += decider.cuts_used
+        result.sat_fallbacks += decider.sat_fallbacks
+        if model is None:
+            result.induction_k = k
+            break
+    return result

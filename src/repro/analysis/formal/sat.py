@@ -1,0 +1,290 @@
+"""A small CDCL SAT solver — the fallback decision procedure.
+
+Conflict-driven clause learning with the standard ingredients:
+two-watched-literal propagation, first-UIP conflict analysis with
+non-chronological backjumping, exponential VSIDS activities with a lazy
+max-heap, saved phases, and Luby restarts.  No clause-database reduction
+or preprocessing — the instances here (codec miters and induction steps
+whose BDDs blew up) are small enough that simplicity wins.
+
+Literals use the DIMACS convention: variable ``v`` is ``1..num_vars``,
+negation is ``-v``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.formal.cnf import Cnf
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,… (1-indexed)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL over a fixed clause set; ``solve()`` returns a model or None."""
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        self.watches: Dict[int, List[int]] = {}
+        # assigns[v]: 0 unknown, +1 true, -1 false.
+        self.assigns = [0] * (num_vars + 1)
+        self.level = [0] * (num_vars + 1)
+        self.reason: List[Optional[int]] = [None] * (num_vars + 1)
+        self.phase = [False] * (num_vars + 1)
+        self.activity = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.heap: List = []
+        self.ok = True
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_cnf(cls, cnf: Cnf, assumptions: Sequence[int] = ()) -> "SatSolver":
+        solver = cls(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        for lit in assumptions:
+            solver.add_clause([lit])
+        return solver
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause (deduplicated); returns False on immediate conflict."""
+        if not self.ok:
+            return False
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self.ok = False
+            return False
+        if len(clause) == 1:
+            lit = clause[0]
+            value = self._value(lit)
+            if value == -1:
+                self.ok = False
+                return False
+            if value == 0:
+                self._enqueue(lit, None)
+            return True
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self.watches.setdefault(clause[0], []).append(index)
+        self.watches.setdefault(clause[1], []).append(index)
+        return True
+
+    # ------------------------------------------------------------------
+    # Core machinery
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        value = self.assigns[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> None:
+        var = abs(lit)
+        self.assigns[var] = 1 if lit > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            false_lit = -lit
+            watch_list = self.watches.get(false_lit, [])
+            kept: List[int] = []
+            conflict: Optional[int] = None
+            for position, index in enumerate(watch_list):
+                clause = self.clauses[index]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(index)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(index)
+                if self._value(first) == -1:
+                    kept.extend(watch_list[position + 1 :])
+                    conflict = index
+                    break
+                self._enqueue(first, index)
+            self.watches[false_lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        heapq.heappush(self.heap, (-self.activity[var], var))
+
+    def _analyze(self, conflict: int) -> tuple:
+        """First-UIP learning; returns ``(learnt_clause, backjump_level)``."""
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self.trail) - 1
+        clause = self.clauses[conflict]
+        current_level = len(self.trail_lim)
+        while True:
+            for q in clause if lit == 0 else clause[1:]:
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reason[var]
+            assert reason is not None
+            clause = self.clauses[reason]
+            if clause[0] != lit:
+                clause = [lit] + [q for q in clause if q != lit]
+        learnt[0] = -lit
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest decision level in the clause.
+        max_index = 1
+        for k in range(2, len(learnt)):
+            if self.level[abs(learnt[k])] > self.level[abs(learnt[max_index])]:
+                max_index = k
+        learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+        return learnt, self.level[abs(learnt[1])]
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            limit = self.trail_lim.pop()
+            for lit in self.trail[limit:]:
+                var = abs(lit)
+                self.assigns[var] = 0
+                self.reason[var] = None
+                heapq.heappush(self.heap, (-self.activity[var], var))
+            del self.trail[limit:]
+        self.qhead = min(self.qhead, len(self.trail))
+
+    def _decide(self) -> Optional[int]:
+        while self.heap:
+            negated_activity, var = heapq.heappop(self.heap)
+            if self.assigns[var] == 0 and -negated_activity == self.activity[var]:
+                return var if self.phase[var] else -var
+        for var in range(1, self.num_vars + 1):
+            if self.assigns[var] == 0:
+                return var if self.phase[var] else -var
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, max_conflicts: Optional[int] = None) -> Optional[Dict[int, int]]:
+        """Returns ``{var: 0/1}`` on SAT, ``None`` on UNSAT.
+
+        Raises :class:`SatBudgetExceeded` if ``max_conflicts`` is hit.
+        """
+        if not self.ok:
+            return None
+        for var in range(1, self.num_vars + 1):
+            heapq.heappush(self.heap, (-self.activity[var], var))
+        restart_count = 0
+        while True:
+            restart_count += 1
+            budget = 100 * luby(restart_count)
+            result = self._search(budget, max_conflicts)
+            if result is not None:
+                return result[0]
+
+    def _search(self, budget: int, max_conflicts: Optional[int]):
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if max_conflicts is not None and self.conflicts > max_conflicts:
+                    raise SatBudgetExceeded(self.conflicts)
+                if not self.trail_lim:
+                    return (None,)  # conflict at level 0: UNSAT
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self.watches.setdefault(learnt[0], []).append(index)
+                    self.watches.setdefault(learnt[1], []).append(index)
+                    self._enqueue(learnt[0], index)
+                self.var_inc /= self.var_decay
+                continue
+            if conflicts_here >= budget:
+                self._backtrack(0)
+                return None  # restart
+            decision = self._decide()
+            if decision is None:
+                model = {
+                    var: (1 if self.assigns[var] == 1 else 0)
+                    for var in range(1, self.num_vars + 1)
+                }
+                return (model,)
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(decision, None)
+
+
+class SatBudgetExceeded(RuntimeError):
+    """``solve()`` exceeded its conflict budget without an answer."""
+
+    def __init__(self, conflicts: int):
+        super().__init__(f"SAT search exceeded {conflicts} conflicts")
+        self.conflicts = conflicts

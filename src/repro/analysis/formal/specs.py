@@ -1,0 +1,445 @@
+"""Word-level reference models — the formal side of the paper's equations.
+
+Each spec builds the output and next-state functions of one codec
+encoder/decoder directly from the paper's equations (3/4 for T0, 1/2 for
+bus-invert, 6/7 for T0_BI, 8–10 for dual T0, 11/12 for dual T0_BI) as
+expressions over the *same* variable names the lifted netlist uses
+(``b[i]``, ``prev_addr[i]``, ``SEL``, …).  Equivalence checking is then a
+name-matched miter per output bit and per flop D function.
+
+The word operators here are intentionally *different structures* from the
+:mod:`repro.rtl.blocks` gate builders — a serial ripple carry instead of
+the Kogge–Stone prefix tree, a running ``count ≥ k`` DP ladder instead of
+the carry-save popcount plus magnitude comparator, a linear AND chain
+instead of the balanced reduction tree — so a proof of equivalence is a
+real cross-check of two independent derivations, not a structural
+tautology.
+
+The specs are themselves cross-validated against the behavioural models
+in :mod:`repro.core` by concrete co-simulation (see
+:func:`repro.analysis.formal.prove.crosscheck_spec`), closing the chain
+netlist ↔ spec ↔ behavioural model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.formal.expr import Context, ExprId
+
+#: Default T0-family stride, matching the ``rtl.codecs`` builder default.
+DEFAULT_STRIDE = 4
+
+
+@dataclass
+class SpecIO:
+    """Reference functions of one codec side, keyed by netlist net names."""
+
+    outputs: Dict[str, ExprId]
+    next_state: Dict[str, ExprId]
+
+
+# ---------------------------------------------------------------------------
+# Word operators (independent structures, see module docstring)
+# ---------------------------------------------------------------------------
+
+
+def word(values: Dict[str, ExprId], prefix: str, width: int) -> List[ExprId]:
+    """The bus ``prefix[0..width-1]`` out of a name → expression map."""
+    return [values[f"{prefix}[{i}]"] for i in range(width)]
+
+
+def add_const_word(
+    ctx: Context, bits: Sequence[ExprId], constant: int
+) -> List[ExprId]:
+    """``bits + constant`` modulo ``2**len(bits)`` as a serial ripple."""
+    width = len(bits)
+    constant &= (1 << width) - 1
+    result: List[ExprId] = []
+    carry = ctx.FALSE
+    for position in range(width):
+        c_bit = ctx.const((constant >> position) & 1)
+        partial = ctx.xor(bits[position], c_bit)
+        result.append(ctx.xor(partial, carry))
+        carry = ctx.or_(
+            ctx.and_(bits[position], c_bit), ctx.and_(partial, carry)
+        )
+    return result
+
+
+def eq_words(
+    ctx: Context, a: Sequence[ExprId], b: Sequence[ExprId]
+) -> ExprId:
+    """``a == b`` as a linear chain of XNOR terms."""
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    result = ctx.TRUE
+    for x, y in zip(a, b):
+        result = ctx.and_(result, ctx.xnor(x, y))
+    return result
+
+
+def count_greater(
+    ctx: Context, bits: Sequence[ExprId], threshold: int
+) -> ExprId:
+    """``popcount(bits) > threshold`` as a running threshold ladder.
+
+    ``ge[k]`` holds "at least ``k`` of the bits seen so far are 1"; each
+    bit shifts the ladder up by one.  Only ``threshold + 1`` rungs are
+    tracked — exactly what the strict comparison needs.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    if threshold >= len(bits):
+        return ctx.FALSE
+    rungs = threshold + 1
+    ge: List[ExprId] = [ctx.FALSE] * (rungs + 1)
+    ge[0] = ctx.TRUE
+    for bit in bits:
+        for k in range(rungs, 0, -1):
+            ge[k] = ctx.or_(ge[k], ctx.and_(ge[k - 1], bit))
+    return ge[rungs]
+
+
+def mux_words(
+    ctx: Context,
+    select: ExprId,
+    when_true: Sequence[ExprId],
+    when_false: Sequence[ExprId],
+) -> List[ExprId]:
+    return [
+        ctx.mux(select, t, f) for t, f in zip(when_true, when_false)
+    ]
+
+
+def xor_words(
+    ctx: Context, a: Sequence[ExprId], b: Sequence[ExprId]
+) -> List[ExprId]:
+    return [ctx.xor(x, y) for x, y in zip(a, b)]
+
+
+def xor_bit(ctx: Context, bits: Sequence[ExprId], bit: ExprId) -> List[ExprId]:
+    return [ctx.xor(b, bit) for b in bits]
+
+
+def _bus_outputs(bits: Sequence[ExprId]) -> Dict[str, ExprId]:
+    return {f"B[{i}]": bit for i, bit in enumerate(bits)}
+
+
+def _addr_outputs(bits: Sequence[ExprId]) -> Dict[str, ExprId]:
+    return {f"addr[{i}]": bit for i, bit in enumerate(bits)}
+
+
+def _reg_state(prefix: str, bits: Sequence[ExprId]) -> Dict[str, ExprId]:
+    return {f"{prefix}[{i}]": bit for i, bit in enumerate(bits)}
+
+
+# ---------------------------------------------------------------------------
+# Encoder / decoder specs (paper equations)
+# ---------------------------------------------------------------------------
+
+SpecBuilder = Callable[
+    [Context, Dict[str, ExprId], Dict[str, ExprId], int, int], SpecIO
+]
+
+
+def spec_binary_encoder(ctx, inputs, state, width, stride) -> SpecIO:
+    return SpecIO(_bus_outputs(word(inputs, "b", width)), {})
+
+
+def spec_binary_decoder(ctx, inputs, state, width, stride) -> SpecIO:
+    return SpecIO(_addr_outputs(word(inputs, "B", width)), {})
+
+
+def spec_t0_encoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 3: freeze the bus on in-sequence addresses."""
+    address = word(inputs, "b", width)
+    prev = word(state, "prev_addr", width)
+    bus_reg = word(state, "bus_reg", width)
+    prediction = add_const_word(ctx, prev, stride)
+    inc = ctx.and_(eq_words(ctx, address, prediction), state["valid"])
+    bus = mux_words(ctx, inc, bus_reg, address)
+    outputs = _bus_outputs(bus)
+    outputs["INC"] = inc
+    next_state = _reg_state("prev_addr", address)
+    next_state.update(_reg_state("bus_reg", bus))
+    next_state["valid"] = ctx.TRUE
+    return SpecIO(outputs, next_state)
+
+
+def spec_t0_decoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 4: predict locally while ``INC`` is high."""
+    bus = word(inputs, "B", width)
+    prev = word(state, "prev_addr", width)
+    prediction = add_const_word(ctx, prev, stride)
+    address = mux_words(ctx, inputs["INC"], prediction, bus)
+    return SpecIO(_addr_outputs(address), _reg_state("prev_addr", address))
+
+
+def spec_businvert_encoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 1: invert when ``H(B|INV, b|0) > N/2``."""
+    address = word(inputs, "b", width)
+    bus_reg = word(state, "bus_reg", width)
+    difference = xor_words(ctx, bus_reg, address)
+    invert = count_greater(
+        ctx, [*difference, state["inv_reg"]], width // 2
+    )
+    bus = xor_bit(ctx, address, invert)
+    outputs = _bus_outputs(bus)
+    outputs["INV"] = invert
+    next_state = _reg_state("bus_reg", bus)
+    next_state["inv_reg"] = invert
+    return SpecIO(outputs, next_state)
+
+
+def spec_businvert_decoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 2: conditional re-inversion (stateless)."""
+    address = xor_bit(ctx, word(inputs, "B", width), inputs["INV"])
+    return SpecIO(_addr_outputs(address), {})
+
+
+def spec_t0bi_encoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 6: T0 first, bus-invert over ``N + 2`` wires else."""
+    address = word(inputs, "b", width)
+    prev = word(state, "prev_addr", width)
+    bus_reg = word(state, "bus_reg", width)
+    prediction = add_const_word(ctx, prev, stride)
+    inc = ctx.and_(eq_words(ctx, address, prediction), state["valid"])
+    difference = xor_words(ctx, bus_reg, address)
+    majority = count_greater(
+        ctx,
+        [*difference, state["inc_reg"], state["inv_reg"]],
+        (width + 2) // 2,
+    )
+    inv = ctx.and_(ctx.not_(inc), majority)
+    bus = mux_words(ctx, inc, bus_reg, xor_bit(ctx, address, inv))
+    outputs = _bus_outputs(bus)
+    outputs["INC"] = inc
+    outputs["INV"] = inv
+    next_state = _reg_state("prev_addr", address)
+    next_state.update(_reg_state("bus_reg", bus))
+    next_state["inc_reg"] = inc
+    next_state["inv_reg"] = inv
+    next_state["valid"] = ctx.TRUE
+    return SpecIO(outputs, next_state)
+
+
+def spec_t0bi_decoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 7."""
+    bus = word(inputs, "B", width)
+    prev = word(state, "prev_addr", width)
+    prediction = add_const_word(ctx, prev, stride)
+    uninverted = xor_bit(ctx, bus, inputs["INV"])
+    address = mux_words(ctx, inputs["INC"], prediction, uninverted)
+    return SpecIO(_addr_outputs(address), _reg_state("prev_addr", address))
+
+
+def spec_dualt0_encoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equations 8/9: T0 on instruction slots only."""
+    address = word(inputs, "b", width)
+    ref = word(state, "ref_addr", width)
+    bus_reg = word(state, "bus_reg", width)
+    sel = inputs["SEL"]
+    prediction = add_const_word(ctx, ref, stride)
+    inc = ctx.and_(
+        sel,
+        ctx.and_(eq_words(ctx, address, prediction), state["ref_valid"]),
+    )
+    bus = mux_words(ctx, inc, bus_reg, address)
+    outputs = _bus_outputs(bus)
+    outputs["INC"] = inc
+    next_state = _reg_state(
+        "ref_addr", mux_words(ctx, sel, address, ref)
+    )
+    next_state.update(_reg_state("bus_reg", bus))
+    next_state["ref_valid"] = ctx.or_(sel, state["ref_valid"])
+    return SpecIO(outputs, next_state)
+
+
+def spec_dualt0_decoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 10."""
+    bus = word(inputs, "B", width)
+    ref = word(state, "ref_addr", width)
+    prediction = add_const_word(ctx, ref, stride)
+    address = mux_words(ctx, inputs["INC"], prediction, bus)
+    next_state = _reg_state(
+        "ref_addr", mux_words(ctx, inputs["SEL"], address, ref)
+    )
+    return SpecIO(_addr_outputs(address), next_state)
+
+
+def spec_dualt0bi_encoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 11: shared ``INCV``, disambiguated by ``SEL``."""
+    address = word(inputs, "b", width)
+    ref = word(state, "ref_addr", width)
+    bus_reg = word(state, "bus_reg", width)
+    sel = inputs["SEL"]
+    prediction = add_const_word(ctx, ref, stride)
+    inc = ctx.and_(
+        sel,
+        ctx.and_(eq_words(ctx, address, prediction), state["ref_valid"]),
+    )
+    difference = xor_words(ctx, bus_reg, address)
+    majority = count_greater(
+        ctx, [*difference, state["incv_reg"]], width // 2
+    )
+    inv = ctx.and_(ctx.not_(sel), majority)
+    incv = ctx.or_(inc, inv)
+    bus = mux_words(ctx, inc, bus_reg, xor_bit(ctx, address, inv))
+    outputs = _bus_outputs(bus)
+    outputs["INCV"] = incv
+    next_state = _reg_state(
+        "ref_addr", mux_words(ctx, sel, address, ref)
+    )
+    next_state.update(_reg_state("bus_reg", bus))
+    next_state["incv_reg"] = incv
+    next_state["ref_valid"] = ctx.or_(sel, state["ref_valid"])
+    return SpecIO(outputs, next_state)
+
+
+def spec_dualt0bi_decoder(ctx, inputs, state, width, stride) -> SpecIO:
+    """Paper Equation 12 (typo corrected: the inversion branch is SEL=0)."""
+    bus = word(inputs, "B", width)
+    ref = word(state, "ref_addr", width)
+    sel = inputs["SEL"]
+    incv = inputs["INCV"]
+    prediction = add_const_word(ctx, ref, stride)
+    use_prediction = ctx.and_(incv, sel)
+    use_inversion = ctx.and_(incv, ctx.not_(sel))
+    uninverted = xor_bit(ctx, bus, use_inversion)
+    address = mux_words(ctx, use_prediction, prediction, uninverted)
+    next_state = _reg_state(
+        "ref_addr", mux_words(ctx, sel, address, ref)
+    )
+    return SpecIO(_addr_outputs(address), next_state)
+
+
+#: (codec name, role) → spec builder; names match ``rtl.codecs`` builders.
+SPEC_BUILDERS: Dict[Tuple[str, str], SpecBuilder] = {
+    ("binary", "encoder"): spec_binary_encoder,
+    ("binary", "decoder"): spec_binary_decoder,
+    ("t0", "encoder"): spec_t0_encoder,
+    ("t0", "decoder"): spec_t0_decoder,
+    ("bus-invert", "encoder"): spec_businvert_encoder,
+    ("bus-invert", "decoder"): spec_businvert_decoder,
+    ("t0bi", "encoder"): spec_t0bi_encoder,
+    ("t0bi", "decoder"): spec_t0bi_decoder,
+    ("dualt0", "encoder"): spec_dualt0_encoder,
+    ("dualt0", "decoder"): spec_dualt0_decoder,
+    ("dualt0bi", "encoder"): spec_dualt0bi_encoder,
+    ("dualt0bi", "decoder"): spec_dualt0bi_decoder,
+}
+
+
+def build_spec(
+    name: str,
+    role: str,
+    ctx: Context,
+    inputs: Dict[str, ExprId],
+    state: Dict[str, ExprId],
+    width: int,
+    stride: int = DEFAULT_STRIDE,
+) -> SpecIO:
+    """The reference model of codec ``name``'s ``role`` side."""
+    try:
+        builder = SPEC_BUILDERS[(name, role)]
+    except KeyError:
+        raise KeyError(
+            f"no formal spec registered for codec {name!r} ({role})"
+        ) from None
+    return builder(ctx, inputs, state, width, stride)
+
+
+# ---------------------------------------------------------------------------
+# Redundant-line protocol properties (sequential checker, rule FV005)
+# ---------------------------------------------------------------------------
+
+
+def protocol_properties(
+    name: str,
+    ctx: Context,
+    inputs: Dict[str, ExprId],
+    state: Dict[str, ExprId],
+    outputs: Dict[str, ExprId],
+    width: int,
+) -> List[Tuple[str, ExprId]]:
+    """Universally valid redundant-line invariants of an *encoder*.
+
+    Each returned ``(description, expr)`` must be a tautology over every
+    state — reachable or not — because the paper's protocols are enforced
+    combinationally by the output stage: T0's ``INC`` freezes the bus at
+    the registered previous word, bus-invert's ``INV`` means exact
+    complement, and dual T0_BI's shared ``INCV`` means "frozen" in an
+    instruction slot and "complemented" in a data slot.
+    """
+    address = word(inputs, "b", width)
+    bus = word(outputs, "B", width)
+    properties: List[Tuple[str, ExprId]] = []
+
+    def held() -> ExprId:
+        return eq_words(ctx, bus, word(state, "bus_reg", width))
+
+    def complemented() -> ExprId:
+        return eq_words(ctx, bus, [ctx.not_(bit) for bit in address])
+
+    def plain() -> ExprId:
+        return eq_words(ctx, bus, address)
+
+    if name in ("t0", "dualt0"):
+        properties.append(
+            ("INC=1 implies the bus lines hold their previous word",
+             ctx.implies(outputs["INC"], held())),
+        )
+        properties.append(
+            ("INC=0 implies the bus carries the plain address",
+             ctx.implies(ctx.not_(outputs["INC"]), plain())),
+        )
+    if name == "dualt0":
+        properties.append(
+            ("INC is only asserted in an instruction slot (SEL=1)",
+             ctx.implies(outputs["INC"], inputs["SEL"])),
+        )
+    if name == "bus-invert":
+        properties.append(
+            ("INV=1 implies the bus is the exact complement",
+             ctx.implies(outputs["INV"], complemented())),
+        )
+        properties.append(
+            ("INV=0 implies the bus carries the plain address",
+             ctx.implies(ctx.not_(outputs["INV"]), plain())),
+        )
+    if name == "t0bi":
+        properties.append(
+            ("INC=1 implies the bus lines hold and INV is low",
+             ctx.implies(
+                 outputs["INC"],
+                 ctx.and_(held(), ctx.not_(outputs["INV"])),
+             )),
+        )
+        properties.append(
+            ("INV=1 implies the bus is the exact complement",
+             ctx.implies(outputs["INV"], complemented())),
+        )
+        properties.append(
+            ("INC=0 and INV=0 imply the bus carries the plain address",
+             ctx.implies(
+                 ctx.nor(outputs["INC"], outputs["INV"]), plain()
+             )),
+        )
+    if name == "dualt0bi":
+        sel = inputs["SEL"]
+        incv = outputs["INCV"]
+        properties.append(
+            ("INCV=1 in an instruction slot implies the bus lines hold",
+             ctx.implies(ctx.and_(incv, sel), held())),
+        )
+        properties.append(
+            ("INCV=1 in a data slot implies the exact complement",
+             ctx.implies(ctx.and_(incv, ctx.not_(sel)), complemented())),
+        )
+        properties.append(
+            ("INCV=0 implies the bus carries the plain address",
+             ctx.implies(ctx.not_(incv), plain())),
+        )
+    return properties

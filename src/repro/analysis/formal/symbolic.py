@@ -1,0 +1,138 @@
+"""Symbolic evaluation: lifting :class:`Netlist` gate graphs into the IR.
+
+:func:`lift` walks a netlist in topological (= insertion) order and maps
+every net to an expression handle, given boundary expressions for the
+primary inputs and flop outputs.  Lifting the same netlist twice with
+different boundary maps is how the sequential checker composes steps —
+feed step ``t``'s next-state expressions in as step ``t+1``'s state.
+
+:func:`lift_circuit` is the convenience form used by the combinational
+equivalence checker: fresh variables named after the nets (``b[3]``,
+``prev_addr[7]``, ``SEL``) in the *interleaved* order that keeps datapath
+BDDs small — bit ``i`` of every word is adjacent in the order, scalars
+(``SEL``, ``valid``, ``inv_reg``) come first.  Word-level functions like
+equality, carry chains and popcount thresholds are linear or quadratic
+under this order and exponential under a naive word-by-word one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.formal.expr import Context, ExprId
+from repro.rtl.netlist import Netlist
+
+#: ``prefix[index]`` net-name shape shared by every word bus in the tree.
+_INDEXED = re.compile(r"^(?P<base>.*)\[(?P<index>\d+)\]$")
+
+
+def interleaved_order(names: Sequence[str]) -> List[str]:
+    """Order variables for datapath BDDs: scalars first, then bit-sliced.
+
+    Indexed names (``b[i]``, ``prev_addr[i]``, ``enc.bus_reg[i]``) are
+    grouped by bit index so corresponding bits of every word sit next to
+    each other; scalar controls sort ahead of bit 0.  Ties break on the
+    name so the order is deterministic.
+    """
+
+    def key(name: str) -> Tuple[int, str]:
+        match = _INDEXED.match(name)
+        if match:
+            return (int(match.group("index")), match.group("base"))
+        return (-1, name)
+
+    return sorted(names, key=key)
+
+
+def _op_table(ctx: Context) -> Dict[str, Callable[..., ExprId]]:
+    return {
+        "INV": lambda a: ctx.not_(a),
+        "BUF": lambda a: a,
+        "AND2": ctx.and_,
+        "OR2": ctx.or_,
+        "NAND2": ctx.nand,
+        "NOR2": ctx.nor,
+        "XOR2": ctx.xor,
+        "XNOR2": ctx.xnor,
+        "MUX2": ctx.mux,
+    }
+
+
+def lift(
+    ctx: Context,
+    netlist: Netlist,
+    input_map: Dict[str, ExprId],
+    state_map: Dict[str, ExprId],
+) -> Tuple[Dict[str, ExprId], Dict[str, ExprId]]:
+    """Lift one netlist; returns ``(outputs, next_state)`` by name.
+
+    ``input_map``/``state_map`` give the boundary expressions for each
+    primary input and flop Q net (keyed by net name).  ``next_state`` maps
+    each flop's Q-net name to the expression of its D input — the
+    transition function.  Raises ``KeyError`` on a missing boundary name
+    and ``ValueError`` on an undriven flop (the netlist must be complete,
+    the same contract :meth:`Netlist.simulate` enforces).
+    """
+    netlist.validate()
+    ops = _op_table(ctx)
+    values: Dict[int, ExprId] = {}
+    for net in netlist.inputs:
+        values[net] = input_map[netlist.net_name(net)]
+    for const_value, net in netlist.const_nets.items():
+        values[net] = ctx.const(const_value)
+    for _, q, _ in netlist.flops:
+        values[q] = state_map[netlist.net_name(q)]
+    for spec, fanins, output in netlist.gates:
+        values[output] = ops[spec.name](*(values[net] for net in fanins))
+    outputs = {name: values[net] for name, net in netlist.outputs}
+    next_state = {
+        netlist.net_name(q): values[d]  # type: ignore[index]
+        for d, q, _ in netlist.flops
+    }
+    return outputs, next_state
+
+
+@dataclass
+class LiftedCircuit:
+    """A netlist lifted over fresh variables, ready for equivalence work."""
+
+    ctx: Context
+    netlist: Netlist
+    #: Primary-output name → expression.
+    outputs: Dict[str, ExprId]
+    #: Flop Q-net name → next-state (D input) expression.
+    next_state: Dict[str, ExprId]
+    #: Flop Q-net name → reset value.
+    init_state: Dict[str, int]
+    #: Primary-input net names, in :attr:`Netlist.inputs` order.
+    input_names: List[str]
+    #: Flop Q-net names, in flop order.
+    state_names: List[str]
+
+    @property
+    def var_order(self) -> List[str]:
+        """The interleaved BDD order over this circuit's variables."""
+        return interleaved_order(self.input_names + self.state_names)
+
+
+def lift_circuit(netlist: Netlist, ctx: Optional[Context] = None) -> LiftedCircuit:
+    """Lift ``netlist`` over one fresh variable per input and flop."""
+    if ctx is None:
+        ctx = Context()
+    input_names = [netlist.net_name(net) for net in netlist.inputs]
+    state_names = [netlist.net_name(q) for _, q, _ in netlist.flops]
+    input_map = {name: ctx.var(name) for name in input_names}
+    state_map = {name: ctx.var(name) for name in state_names}
+    outputs, next_state = lift(ctx, netlist, input_map, state_map)
+    init_state = {netlist.net_name(q): init for _, q, init in netlist.flops}
+    return LiftedCircuit(
+        ctx=ctx,
+        netlist=netlist,
+        outputs=outputs,
+        next_state=next_state,
+        init_state=init_state,
+        input_names=input_names,
+        state_names=state_names,
+    )

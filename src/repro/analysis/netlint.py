@@ -22,6 +22,10 @@ NL005     warning   floating net: primary input or flop Q with no fanout
 NL006     warning   duplicate primary-output name
 NL007     info      constant-foldable gate (every fanin is a constant net)
 NL008     info      net with no name (empty string) — hurts diagnostics
+NL009     warning   never-updating register: a flop's D input constant-folds
+                    to its own Q (e.g. a clock-enable mux whose select is
+                    foldable to 0) — the register can never leave its reset
+                    value
 ========  ========  ======================================================
 
 Error-level rules are conditions the simulator would mis-handle or reject;
@@ -31,7 +35,7 @@ power in the estimates); infos are hygiene.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.report import AnalysisReport, Severity
 from repro.rtl.netlist import Netlist
@@ -41,6 +45,94 @@ _ORIGIN_INPUT = "input"
 _ORIGIN_CONST = "const"
 _ORIGIN_GATE = "gate"
 _ORIGIN_FLOP = "flop"
+
+
+def _fold_constants(
+    netlist: Netlist,
+) -> Tuple[Callable[[int], int], Callable[[int], Optional[int]]]:
+    """One constant-propagation sweep over the gate graph.
+
+    Returns ``(root, value)``: ``root(net)`` chases alias chains (buffers,
+    muxes with folded selects, gates with an identity-making constant
+    fanin) to the net that actually produces the signal, and ``value(net)``
+    gives the net's folded constant (0/1) or ``None``.
+    """
+    const_val: Dict[int, int] = {
+        net: v for v, net in netlist._const_nets.items()
+    }
+    alias: Dict[int, int] = {}
+
+    def root(net: int) -> int:
+        while net in alias:
+            net = alias[net]
+        return net
+
+    def value(net: int) -> Optional[int]:
+        return const_val.get(root(net))
+
+    for gate in netlist._gates:
+        name = gate.spec.name
+        fanins = gate.inputs
+        out = gate.output
+        if len(fanins) != gate.spec.arity:
+            continue  # malformed gate — NL003's problem, not ours
+        if name == "BUF":
+            alias[out] = root(fanins[0])
+        elif name == "INV":
+            v = value(fanins[0])
+            if v is not None:
+                const_val[out] = 1 - v
+        elif name == "MUX2":
+            select, when_true, when_false = fanins
+            sv = value(select)
+            if sv is not None:
+                alias[out] = root(when_true if sv else when_false)
+        elif name in ("AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"):
+            a_net, b_net = fanins
+            a, b = value(a_net), value(b_net)
+            if name == "AND2":
+                if a == 0 or b == 0:
+                    const_val[out] = 0
+                elif a == 1 and b == 1:
+                    const_val[out] = 1
+                elif a == 1:
+                    alias[out] = root(b_net)
+                elif b == 1:
+                    alias[out] = root(a_net)
+            elif name == "OR2":
+                if a == 1 or b == 1:
+                    const_val[out] = 1
+                elif a == 0 and b == 0:
+                    const_val[out] = 0
+                elif a == 0:
+                    alias[out] = root(b_net)
+                elif b == 0:
+                    alias[out] = root(a_net)
+            elif name == "NAND2":
+                if a == 0 or b == 0:
+                    const_val[out] = 1
+                elif a == 1 and b == 1:
+                    const_val[out] = 0
+            elif name == "NOR2":
+                if a == 1 or b == 1:
+                    const_val[out] = 0
+                elif a == 0 and b == 0:
+                    const_val[out] = 1
+            elif name == "XOR2":
+                if a is not None and b is not None:
+                    const_val[out] = a ^ b
+                elif a == 0:
+                    alias[out] = root(b_net)
+                elif b == 0:
+                    alias[out] = root(a_net)
+            else:  # XNOR2
+                if a is not None and b is not None:
+                    const_val[out] = 1 - (a ^ b)
+                elif a == 1:
+                    alias[out] = root(b_net)
+                elif b == 1:
+                    alias[out] = root(a_net)
+    return root, value
 
 
 def lint_netlist(netlist: Netlist) -> AnalysisReport:
@@ -165,6 +257,23 @@ def lint_netlist(netlist: Netlist) -> AnalysisReport:
                 f"{gate.spec.name} gate {netlist.net_name(gate.output)!r} "
                 "has only constant fanins and could be folded",
                 subjects=(netlist.net_name(gate.output),),
+            )
+
+    # ------------------------------------------------------------------
+    # NL009 — never-updating registers (clock-enable foldable to 0).
+    # ------------------------------------------------------------------
+    fold_root, _fold_value = _fold_constants(netlist)
+    for handle, flop in enumerate(netlist._flops):
+        if flop.d is not None and fold_root(flop.d) == flop.q:
+            report.add(
+                "NL009",
+                Severity.WARNING,
+                f"never-updating register: flop {handle} "
+                f"({netlist.net_name(flop.q)!r}) has a D input that "
+                "constant-folds to its own Q — its hold path (clock-enable "
+                "mux select foldable to 0?) is permanently selected, so the "
+                "register can never leave its reset value",
+                subjects=(netlist.net_name(flop.q),),
             )
 
     # NL008 — anonymous nets.

@@ -42,20 +42,28 @@ class Finding:
         Human-readable description of what is wrong and where.
     subjects:
         Names of the offending objects (net names, gate names, codec names).
+    data:
+        Optional machine-readable payload (JSON-serializable), e.g. the
+        ready-to-run counterexample replay attached by the formal pass.
+        Rendered only in the JSON output, never in the text form.
     """
 
     rule: str
     severity: Severity
     message: str
     subjects: Tuple[str, ...] = ()
+    data: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        result: Dict[str, object] = {
             "rule": self.rule,
             "severity": str(self.severity),
             "message": self.message,
             "subjects": list(self.subjects),
         }
+        if self.data is not None:
+            result["data"] = self.data
+        return result
 
     def render(self) -> str:
         subjects = f" [{', '.join(self.subjects)}]" if self.subjects else ""
@@ -76,8 +84,9 @@ class AnalysisReport:
         severity: Severity,
         message: str,
         subjects: Iterable[str] = (),
+        data: Optional[Dict[str, object]] = None,
     ) -> Finding:
-        finding = Finding(rule, severity, message, tuple(subjects))
+        finding = Finding(rule, severity, message, tuple(subjects), data)
         self.findings.append(finding)
         return finding
 

@@ -13,6 +13,9 @@ Subcommands
 * ``timing``                 — codec circuit critical paths (STA)
 * ``lint``                   — static analysis: netlist lint, activity
                                agreement, codec contract checking
+* ``prove``                  — formal verification: symbolic equivalence
+                               against the paper specs plus k-induction
+                               proofs of ``decode(encode(a)) == a``
 """
 
 from __future__ import annotations
@@ -351,6 +354,77 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_prove(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import Severity, summarize
+    from repro.analysis.contracts import replay_formal_counterexamples
+    from repro.analysis.formal import (
+        FORMAL_CODECS,
+        ProveOptions,
+        collect_replays,
+        prove_codec,
+    )
+
+    names = list(FORMAL_CODECS)
+    if args.codecs:
+        unknown = [n for n in args.codecs if n not in FORMAL_CODECS]
+        if unknown:
+            print(
+                f"no formal spec for codec(s): {', '.join(unknown)} "
+                f"(provable: {', '.join(FORMAL_CODECS)})",
+                file=sys.stderr,
+            )
+            return 2
+        names = [n for n in names if n in args.codecs]
+
+    width = 8 if args.fast else args.width
+    options = ProveOptions(
+        width=width,
+        stride=args.stride,
+        backend=args.backend,
+        bmc_depth=args.bmc_depth,
+        k_max=args.k_max,
+        crosscheck=not args.no_crosscheck,
+    )
+
+    reports = [prove_codec(name, options) for name in names]
+
+    # Every formally found counterexample doubles as a concrete regression
+    # vector: replay it against the behavioural models (CC008/CC009).
+    replays = collect_replays(reports)
+    if replays:
+        reports.append(replay_formal_counterexamples(replays))
+
+    totals = summarize(reports)
+    if args.json:
+        print(
+            json.dumps(
+                {"reports": [r.to_dict() for r in reports], "summary": totals},
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            interesting = args.verbose or any(
+                f.severity != Severity.INFO for f in report.findings
+            )
+            if interesting:
+                print(report.render(verbose=args.verbose))
+        verdict = "all proofs hold" if not totals["errors"] else "DISPROVED"
+        print(
+            f"prove: {len(names)} codecs at width {width} — "
+            f"{totals['errors']} errors, {totals['warnings']} warnings, "
+            f"{totals['info']} info ({verdict})"
+        )
+
+    if totals["errors"]:
+        return 1
+    if args.strict and totals["warnings"]:
+        return 1
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments import export_all
 
@@ -520,6 +594,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--skip-activity", action="store_true")
     p_lint.add_argument("--skip-contracts", action="store_true")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_prove = sub.add_parser(
+        "prove",
+        help="formal verification: equivalence + k-induction proofs",
+        description=(
+            "Symbolically verify the gate-level codec circuits: prove "
+            "each encoder/decoder netlist equivalent to an independent "
+            "word-level spec (BDD with SAT fallback), prove "
+            "decode(encode(a)) == a from every reachable state by "
+            "k-induction, and check the redundant-line protocols.  "
+            "Disproofs carry concrete counterexample vectors and exit "
+            "nonzero."
+        ),
+    )
+    p_prove.add_argument(
+        "--codecs", nargs="*", help="restrict to these codec names"
+    )
+    p_prove.add_argument(
+        "--width",
+        type=int,
+        default=32,
+        help="bus width to prove at (default 32, the paper's)",
+    )
+    p_prove.add_argument(
+        "--fast",
+        action="store_true",
+        help="prove at width 8 instead (seconds, for CI)",
+    )
+    p_prove.add_argument(
+        "--stride",
+        type=int,
+        default=4,
+        help="word stride for the T0-family in-sequence increment",
+    )
+    p_prove.add_argument(
+        "--backend",
+        choices=("auto", "bdd", "sat"),
+        default="auto",
+        help="decision procedure for equivalence (auto: BDD, SAT on blowup)",
+    )
+    p_prove.add_argument(
+        "--bmc-depth",
+        type=int,
+        default=3,
+        help="bounded-model-checking horizon from reset (default 3)",
+    )
+    p_prove.add_argument(
+        "--k-max",
+        type=int,
+        default=2,
+        help="largest induction depth to attempt (default 2)",
+    )
+    p_prove.add_argument(
+        "--no-crosscheck",
+        action="store_true",
+        help="skip co-simulating the specs against the behavioural models",
+    )
+    p_prove.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_prove.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail (nonzero exit)",
+    )
+    p_prove.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show per-codec proof summaries (info-level findings)",
+    )
+    p_prove.set_defaults(func=_cmd_prove)
 
     p_export = sub.add_parser("export", help="write all results as JSON")
     p_export.add_argument("output")

@@ -39,15 +39,54 @@ def _bits_to_int(bits: Sequence[int]) -> int:
     return value
 
 
+def _output_names(netlist: Netlist) -> List[str]:
+    return [name for name, _ in netlist.outputs]
+
+
+def _input_names(netlist: Netlist) -> List[str]:
+    return [netlist.net_name(net) for net in netlist.inputs]
+
+
+def _bus_width(names: Sequence[str], prefix: str) -> int:
+    """Length of the contiguous ``prefix[0..n-1]`` word within ``names``."""
+    present = set(names)
+    width = 0
+    while f"{prefix}[{width}]" in present:
+        width += 1
+    return width
+
+
 @dataclass
 class EncoderCircuit:
-    """A gate-level encoder plus the harness to drive it."""
+    """A gate-level encoder plus the harness to drive it.
+
+    ``width``, ``extra_lines`` and ``uses_sel`` are *derived* from the
+    netlist's primary input/output lists — the netlist is the single
+    source of truth, so the metadata cannot drift from the circuit (the
+    historical failure mode rule CK001/CK002 linted for).
+    """
 
     name: str
-    width: int
     netlist: Netlist
-    uses_sel: bool
-    extra_lines: Tuple[str, ...]
+
+    @property
+    def width(self) -> int:
+        """Bus width: the length of the ``B[...]`` output word."""
+        return _bus_width(_output_names(self.netlist), "B")
+
+    @property
+    def extra_lines(self) -> Tuple[str, ...]:
+        """Redundant-line outputs, in output order (after the bus word)."""
+        return tuple(
+            name
+            for name in _output_names(self.netlist)
+            if not name.startswith("B[")
+        )
+
+    @property
+    def uses_sel(self) -> bool:
+        """True when the circuit takes the instruction/data ``SEL`` pin."""
+        return "SEL" in _input_names(self.netlist)
 
     def run(
         self,
@@ -78,13 +117,34 @@ class EncoderCircuit:
 
 @dataclass
 class DecoderCircuit:
-    """A gate-level decoder plus the harness to drive it."""
+    """A gate-level decoder plus the harness to drive it.
+
+    Metadata derives from the netlist exactly as for
+    :class:`EncoderCircuit`; a decoder's redundant lines are its primary
+    *inputs* beyond the bus word and ``SEL``.
+    """
 
     name: str
-    width: int
     netlist: Netlist
-    uses_sel: bool
-    extra_lines: Tuple[str, ...]
+
+    @property
+    def width(self) -> int:
+        """Bus width: the length of the ``addr[...]`` output word."""
+        return _bus_width(_output_names(self.netlist), "addr")
+
+    @property
+    def extra_lines(self) -> Tuple[str, ...]:
+        """Redundant-line inputs, in input order (after the bus word)."""
+        return tuple(
+            name
+            for name in _input_names(self.netlist)
+            if not name.startswith("B[") and name != "SEL"
+        )
+
+    @property
+    def uses_sel(self) -> bool:
+        """True when the circuit takes the instruction/data ``SEL`` pin."""
+        return "SEL" in _input_names(self.netlist)
 
     def run(
         self,
@@ -116,7 +176,7 @@ def build_binary_encoder(width: int = 32) -> EncoderCircuit:
     address = nl.add_inputs("b", width)
     for index, net in enumerate(blocks.buffer_word(nl, address)):
         nl.mark_output(net, f"B[{index}]")
-    return EncoderCircuit("binary", width, nl, uses_sel=False, extra_lines=())
+    return EncoderCircuit("binary", nl)
 
 
 def build_binary_decoder(width: int = 32) -> DecoderCircuit:
@@ -125,7 +185,7 @@ def build_binary_decoder(width: int = 32) -> DecoderCircuit:
     bus = nl.add_inputs("B", width)
     for index, net in enumerate(blocks.buffer_word(nl, bus)):
         nl.mark_output(net, f"addr[{index}]")
-    return DecoderCircuit("binary", width, nl, uses_sel=False, extra_lines=())
+    return DecoderCircuit("binary", nl)
 
 
 # ---------------------------------------------------------------------------
@@ -155,7 +215,7 @@ def build_t0_encoder(width: int = 32, stride: int = 4) -> EncoderCircuit:
     for index, net in enumerate(bus_out):
         nl.mark_output(net, f"B[{index}]")
     nl.mark_output(inc, "INC")
-    return EncoderCircuit("t0", width, nl, uses_sel=False, extra_lines=("INC",))
+    return EncoderCircuit("t0", nl)
 
 
 def build_t0_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
@@ -171,7 +231,7 @@ def build_t0_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
 
     for index, net in enumerate(address):
         nl.mark_output(net, f"addr[{index}]")
-    return DecoderCircuit("t0", width, nl, uses_sel=False, extra_lines=("INC",))
+    return DecoderCircuit("t0", nl)
 
 
 # ---------------------------------------------------------------------------
@@ -208,9 +268,7 @@ def build_businvert_encoder(width: int = 32) -> EncoderCircuit:
     for index, net in enumerate(bus_out):
         nl.mark_output(net, f"B[{index}]")
     nl.mark_output(invert, "INV")
-    return EncoderCircuit(
-        "bus-invert", width, nl, uses_sel=False, extra_lines=("INV",)
-    )
+    return EncoderCircuit("bus-invert", nl)
 
 
 def build_businvert_decoder(width: int = 32) -> DecoderCircuit:
@@ -220,9 +278,7 @@ def build_businvert_decoder(width: int = 32) -> DecoderCircuit:
     inv = nl.add_input("INV")
     for index, bit in enumerate(bus):
         nl.mark_output(nl.add_gate(XOR2, bit, inv), f"addr[{index}]")
-    return DecoderCircuit(
-        "bus-invert", width, nl, uses_sel=False, extra_lines=("INV",)
-    )
+    return DecoderCircuit("bus-invert", nl)
 
 
 # ---------------------------------------------------------------------------
@@ -271,9 +327,7 @@ def build_t0bi_encoder(width: int = 32, stride: int = 4) -> EncoderCircuit:
         nl.mark_output(net, f"B[{index}]")
     nl.mark_output(inc, "INC")
     nl.mark_output(inv, "INV")
-    return EncoderCircuit(
-        "t0bi", width, nl, uses_sel=False, extra_lines=("INC", "INV")
-    )
+    return EncoderCircuit("t0bi", nl)
 
 
 def build_t0bi_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
@@ -291,9 +345,7 @@ def build_t0bi_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
 
     for index, net in enumerate(address):
         nl.mark_output(net, f"addr[{index}]")
-    return DecoderCircuit(
-        "t0bi", width, nl, uses_sel=False, extra_lines=("INC", "INV")
-    )
+    return DecoderCircuit("t0bi", nl)
 
 
 # ---------------------------------------------------------------------------
@@ -329,7 +381,7 @@ def build_dualt0_encoder(width: int = 32, stride: int = 4) -> EncoderCircuit:
     for index, net in enumerate(bus_out):
         nl.mark_output(net, f"B[{index}]")
     nl.mark_output(inc, "INC")
-    return EncoderCircuit("dualt0", width, nl, uses_sel=True, extra_lines=("INC",))
+    return EncoderCircuit("dualt0", nl)
 
 
 def build_dualt0_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
@@ -348,7 +400,7 @@ def build_dualt0_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
 
     for index, net in enumerate(address):
         nl.mark_output(net, f"addr[{index}]")
-    return DecoderCircuit("dualt0", width, nl, uses_sel=True, extra_lines=("INC",))
+    return DecoderCircuit("dualt0", nl)
 
 
 # ---------------------------------------------------------------------------
@@ -400,9 +452,7 @@ def build_dualt0bi_encoder(width: int = 32, stride: int = 4) -> EncoderCircuit:
     for index, net in enumerate(bus_out):
         nl.mark_output(net, f"B[{index}]")
     nl.mark_output(incv, "INCV")
-    return EncoderCircuit(
-        "dualt0bi", width, nl, uses_sel=True, extra_lines=("INCV",)
-    )
+    return EncoderCircuit("dualt0bi", nl)
 
 
 def build_dualt0bi_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
@@ -427,9 +477,7 @@ def build_dualt0bi_decoder(width: int = 32, stride: int = 4) -> DecoderCircuit:
 
     for index, net in enumerate(address):
         nl.mark_output(net, f"addr[{index}]")
-    return DecoderCircuit(
-        "dualt0bi", width, nl, uses_sel=True, extra_lines=("INCV",)
-    )
+    return DecoderCircuit("dualt0bi", nl)
 
 
 #: Builders keyed by code name — the circuits Tables 8/9 sweep.

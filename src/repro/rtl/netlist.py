@@ -143,6 +143,22 @@ class Netlist:
     def outputs(self) -> List[Tuple[str, NetId]]:
         return list(self._outputs)
 
+    @property
+    def gates(self) -> List[Tuple[GateSpec, Tuple[NetId, ...], NetId]]:
+        """Combinational gates as ``(spec, inputs, output)``, in topological
+        (= insertion) order — the traversal every analysis pass needs."""
+        return [(g.spec, g.inputs, g.output) for g in self._gates]
+
+    @property
+    def flops(self) -> List[Tuple[Optional[NetId], NetId, int]]:
+        """Flip-flops as ``(d, q, init)``; ``d`` is None while undriven."""
+        return [(f.d, f.q, f.init) for f in self._flops]
+
+    @property
+    def const_nets(self) -> Dict[int, NetId]:
+        """Constant value (0/1) → net id, for the constants in use."""
+        return dict(self._const_nets)
+
     def net_name(self, net: NetId) -> str:
         return self._net_names[net]
 

@@ -8,7 +8,10 @@ from repro.analysis import (
     explore_state_space,
     small_width_params,
 )
-from repro.analysis.contracts import _fingerprint
+from repro.analysis.contracts import (
+    _fingerprint,
+    replay_formal_counterexamples,
+)
 from repro.core.base import SEL_INSTRUCTION, BusDecoder, BusEncoder
 from repro.core.registry import available_codecs
 from repro.core.word import EncodedWord
@@ -269,3 +272,81 @@ class TestSeededContractViolations:
         report = check_codec(lying_extras_registry_entry, width=3)
         assert not report.ok
         assert "CC002" in _rules(report)
+
+
+class TestFormalCounterexampleReplay:
+    """CC008/CC009: formal disproofs become behavioural regression vectors."""
+
+    @staticmethod
+    def _replay(codec="t0", addresses=(0, 4, 8, 11), width=4, sel=None):
+        vectors = []
+        for address in addresses:
+            vector = [(address >> i) & 1 for i in range(width)]
+            if sel is not None:
+                vector.append(sel)
+            vectors.append(vector)
+        input_order = [f"b[{i}]" for i in range(width)]
+        if sel is not None:
+            input_order.append("SEL")
+        return {"codec": codec, "input_order": input_order, "vectors": vectors}
+
+    def test_cc009_on_clean_replay(self):
+        report = replay_formal_counterexamples([self._replay()])
+        assert report.ok
+        assert _rules(report) == ["CC009"]
+        assert "regression" in report.findings[0].message
+
+    def test_cc009_on_sel_carrying_replay(self):
+        report = replay_formal_counterexamples(
+            [self._replay(codec="dualt0", sel=1)]
+        )
+        assert report.ok
+        assert _rules(report) == ["CC009"]
+
+    def test_cc009_on_addressless_replay(self):
+        # Decoder-side or state-relative counterexamples carry no b[...]
+        # stream; nothing to drive, but the skip must be visible.
+        report = replay_formal_counterexamples(
+            [{"codec": "t0", "input_order": ["B[0]", "B[1]"], "vectors": [[0, 1]]}]
+        )
+        assert report.ok
+        assert _rules(report) == ["CC009"]
+        assert "no address stream" in report.findings[0].message
+
+    def test_cc008_on_unbuildable_codec(self):
+        report = replay_formal_counterexamples([self._replay(codec="nonesuch")])
+        assert not report.ok
+        assert _rules(report) == ["CC008"]
+        assert "cannot rebuild" in report.findings[0].message
+
+    def test_cc008_on_protocol_level_defect(self):
+        # A codec whose behavioural decoder is lossy reproduces the formal
+        # counterexample directly against the models.
+        from repro.core import registry
+        from repro.core.base import Codec
+
+        @registry.register_codec("lossy-for-replay")
+        def _lossy(width):
+            return Codec(
+                name="lossy-for-replay",
+                width=width,
+                encoder_factory=lambda: _IdentityEncoder(width),
+                decoder_factory=lambda: _LossyDecoder(width),
+            )
+
+        try:
+            report = replay_formal_counterexamples(
+                [self._replay(codec="lossy-for-replay", addresses=(1, 3, 7))]
+            )
+        finally:
+            del registry._REGISTRY["lossy-for-replay"]
+        assert not report.ok
+        assert _rules(report) == ["CC008"]
+        finding = report.findings[0]
+        assert "reproduces" in finding.message
+        assert finding.data is not None and "replay" in finding.data
+
+    def test_replay_cap_respected(self):
+        replays = [self._replay() for _ in range(40)]
+        report = replay_formal_counterexamples(replays, max_replays=5)
+        assert len(report.findings) == 5

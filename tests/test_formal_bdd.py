@@ -1,0 +1,160 @@
+"""BDD engine laws: canonicity, Boolean identities, restrict, SAT search.
+
+Property-based where it matters — random expression trees are generated
+as plain tuples and rebuilt against a fresh :class:`Context` per example,
+so hypothesis shrinking stays meaningful.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.formal import BDD, Context, interleaved_order
+
+VARS = ("a", "b", "c", "d")
+
+_leaf = st.sampled_from(VARS + (0, 1))
+_tree = st.recursive(
+    _leaf,
+    lambda children: st.one_of(
+        st.tuples(st.just("not"), children),
+        st.tuples(
+            st.sampled_from(
+                ("and", "or", "xor", "nand", "nor", "xnor", "implies")
+            ),
+            children,
+            children,
+        ),
+        st.tuples(st.just("mux"), children, children, children),
+    ),
+    max_leaves=12,
+)
+
+
+def _build(ctx, tree):
+    if tree in (0, 1):
+        return ctx.const(tree)
+    if isinstance(tree, str):
+        return ctx.var(tree)
+    op, *operands = tree
+    built = [_build(ctx, operand) for operand in operands]
+    return {
+        "not": ctx.not_,
+        "and": ctx.and_,
+        "or": ctx.or_,
+        "xor": ctx.xor,
+        "nand": ctx.nand,
+        "nor": ctx.nor,
+        "xnor": ctx.xnor,
+        "implies": ctx.implies,
+        "mux": ctx.mux,
+    }[op](*built)
+
+
+def _assignments():
+    for bits in itertools.product((0, 1), repeat=len(VARS)):
+        yield dict(zip(VARS, bits))
+
+
+def _fresh():
+    ctx = Context()
+    for name in VARS:
+        ctx.var(name)
+    bdd = BDD(list(VARS))
+    return ctx, bdd
+
+
+class TestAgainstTruthTables:
+    @settings(deadline=None)
+    @given(_tree)
+    def test_bdd_matches_expression_semantics(self, tree):
+        ctx, bdd = _fresh()
+        expr = _build(ctx, tree)
+        (node,) = bdd.compile(ctx, [expr])
+        for assignment in _assignments():
+            (expected,) = ctx.evaluate_many([expr], assignment)
+            assert bdd.evaluate(node, assignment) == expected
+
+    @settings(deadline=None)
+    @given(_tree, _tree)
+    def test_canonicity(self, left, right):
+        """Logically equal functions compile to the *same* node."""
+        ctx, bdd = _fresh()
+        left_expr, right_expr = _build(ctx, left), _build(ctx, right)
+        left_node, right_node = bdd.compile(ctx, [left_expr, right_expr])
+        same_function = all(
+            ctx.evaluate_many([left_expr], a) == ctx.evaluate_many([right_expr], a)
+            for a in _assignments()
+        )
+        assert (left_node == right_node) == same_function
+
+
+class TestBooleanLaws:
+    @settings(deadline=None)
+    @given(_tree, _tree)
+    def test_ite_idempotence(self, f_tree, g_tree):
+        ctx, bdd = _fresh()
+        f, g = bdd.compile(ctx, [_build(ctx, f_tree), _build(ctx, g_tree)])
+        assert bdd.ite(f, g, g) == g
+
+    @settings(deadline=None)
+    @given(_tree, _tree)
+    def test_de_morgan(self, f_tree, g_tree):
+        ctx, bdd = _fresh()
+        f, g = bdd.compile(ctx, [_build(ctx, f_tree), _build(ctx, g_tree)])
+        assert bdd.neg(bdd.apply_and(f, g)) == bdd.apply_or(
+            bdd.neg(f), bdd.neg(g)
+        )
+
+    @settings(deadline=None)
+    @given(_tree)
+    def test_complement_laws(self, tree):
+        ctx, bdd = _fresh()
+        (f,) = bdd.compile(ctx, [_build(ctx, tree)])
+        assert bdd.apply_xor(f, f) == bdd.FALSE
+        assert bdd.apply_and(f, bdd.neg(f)) == bdd.FALSE
+        assert bdd.apply_or(f, bdd.neg(f)) == bdd.TRUE
+        assert bdd.neg(bdd.neg(f)) == f
+
+    @settings(deadline=None)
+    @given(_tree)
+    def test_shannon_expansion_via_restrict(self, tree):
+        ctx, bdd = _fresh()
+        (f,) = bdd.compile(ctx, [_build(ctx, tree)])
+        for name in VARS:
+            var_node = bdd.var(name)
+            positive = bdd.restrict(f, name, 1)
+            negative = bdd.restrict(f, name, 0)
+            assert bdd.ite(var_node, positive, negative) == f
+
+
+class TestSatOne:
+    @settings(deadline=None)
+    @given(_tree)
+    def test_sat_one_satisfies(self, tree):
+        ctx, bdd = _fresh()
+        (f,) = bdd.compile(ctx, [_build(ctx, tree)])
+        model = bdd.sat_one(f)
+        if f == bdd.FALSE:
+            assert model is None
+        else:
+            assert model is not None
+            full = {name: 0 for name in VARS}
+            full.update(model)
+            assert bdd.evaluate(f, full) == 1
+
+    def test_sat_one_of_false_is_none(self):
+        _, bdd = _fresh()
+        assert bdd.sat_one(bdd.FALSE) is None
+
+
+class TestInterleavedOrder:
+    def test_word_bits_interleave(self):
+        names = [f"a[{i}]" for i in range(3)] + [f"b[{i}]" for i in range(3)]
+        assert interleaved_order(names) == [
+            "a[0]", "b[0]", "a[1]", "b[1]", "a[2]", "b[2]",
+        ]
+
+    def test_scalars_come_first(self):
+        names = ["x[1]", "SEL", "x[0]"]
+        assert interleaved_order(names) == ["SEL", "x[0]", "x[1]"]

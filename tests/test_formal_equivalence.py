@@ -1,0 +1,120 @@
+"""Combinational equivalence: every codec netlist equals its spec, the
+BDD and SAT backends agree, and seeded gate mutations are caught with
+concrete counterexamples — including at the paper's full 32-bit width."""
+
+import pytest
+
+from repro.analysis.formal import check_equivalence
+from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
+from repro.rtl.gates import BUF, INV, XNOR2, XOR2
+
+CODECS = sorted(ENCODER_BUILDERS)
+
+
+def _mutate_first_gate(netlist, from_spec, to_spec):
+    """Flip the first ``from_spec`` gate to ``to_spec`` in place."""
+    for gate in netlist._gates:
+        if gate.spec.name == from_spec.name:
+            gate.spec = to_spec
+            return netlist
+    raise AssertionError(f"no {from_spec.name} gate in {netlist.name}")
+
+
+class TestAllCodecsProve:
+    @pytest.mark.parametrize("name", CODECS)
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_encoder_equals_spec(self, name, width):
+        result = check_equivalence(
+            name, "encoder", ENCODER_BUILDERS[name](width).netlist, width
+        )
+        assert result.equivalent, result.counterexamples
+        assert result.functions_checked > 0
+
+    @pytest.mark.parametrize("name", CODECS)
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_decoder_equals_spec(self, name, width):
+        result = check_equivalence(
+            name, "decoder", DECODER_BUILDERS[name](width).netlist, width
+        )
+        assert result.equivalent, result.counterexamples
+
+
+class TestBackendAgreement:
+    """The two decision procedures must reach the same verdict."""
+
+    @pytest.mark.parametrize("name", CODECS)
+    def test_backends_agree_on_clean_circuits(self, name):
+        for width in (4, 8):
+            netlist = ENCODER_BUILDERS[name](width).netlist
+            bdd = check_equivalence(name, "encoder", netlist, width, backend="bdd")
+            sat = check_equivalence(name, "encoder", netlist, width, backend="sat")
+            assert bdd.equivalent and sat.equivalent
+            assert bdd.functions_checked == sat.functions_checked
+
+    def test_backends_agree_on_a_mutant(self):
+        netlist = _mutate_first_gate(
+            ENCODER_BUILDERS["bus-invert"](4).netlist, XOR2, XNOR2
+        )
+        bdd = check_equivalence("bus-invert", "encoder", netlist, 4, backend="bdd")
+        sat = check_equivalence("bus-invert", "encoder", netlist, 4, backend="sat")
+        assert not bdd.equivalent
+        assert not sat.equivalent
+        assert {c.function for c in bdd.counterexamples} == {
+            c.function for c in sat.counterexamples
+        }
+
+
+class TestMutationsAreCaught:
+    @pytest.mark.parametrize("name", CODECS)
+    def test_flipped_gate_disproves_encoder(self, name):
+        netlist = ENCODER_BUILDERS[name](8).netlist
+        if any(g.spec.name == "XOR2" for g in netlist._gates):
+            _mutate_first_gate(netlist, XOR2, XNOR2)
+        else:  # the binary 'encoder' is pure buffers
+            _mutate_first_gate(netlist, BUF, INV)
+        result = check_equivalence(name, "encoder", netlist, 8)
+        assert not result.equivalent
+        cex = result.counterexamples[0]
+        assert cex.impl_value != cex.spec_value
+        assert all(value in (0, 1) for value in cex.inputs.values())
+
+    def test_reset_visible_mutation_carries_a_replay(self):
+        """A stateless mutant must come with a runnable reproduction."""
+        netlist = _mutate_first_gate(
+            ENCODER_BUILDERS["bus-invert"](8).netlist, XOR2, XNOR2
+        )
+        result = check_equivalence("bus-invert", "encoder", netlist, 8)
+        assert not result.equivalent
+        replayable = [c for c in result.counterexamples if c.replay is not None]
+        assert replayable, "expected at least one reset-visible witness"
+        cex = replayable[0]
+        replay = cex.replay
+        # The replay recipe must actually reproduce through the simulator.
+        sim = netlist.simulate([list(v) for v in replay["vectors"]])
+        output_names = [name for name, _ in netlist.outputs]
+        if replay["function"] in output_names:
+            index = output_names.index(replay["function"])
+            observed = sim.outputs[replay["cycle"]][index]
+            assert observed == replay["observed"]
+            assert observed != replay["expected"]
+
+    def test_full_width_mutation_is_disproved(self):
+        """Acceptance: a single flipped gate at width 32 yields a concrete
+        counterexample vector."""
+        netlist = _mutate_first_gate(
+            ENCODER_BUILDERS["t0"](32).netlist, XOR2, XNOR2
+        )
+        result = check_equivalence("t0", "encoder", netlist, 32)
+        assert not result.equivalent
+        cex = result.counterexamples[0]
+        assert set(cex.inputs) >= {f"b[{i}]" for i in range(32)}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            check_equivalence(
+                "binary",
+                "encoder",
+                ENCODER_BUILDERS["binary"](4).netlist,
+                4,
+                backend="z3",
+            )

@@ -1,0 +1,130 @@
+"""CDCL solver and Tseitin encoding: agreement with brute force, UNSAT
+cores the BDD engine already decides, restarts and budgets."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.formal import Cnf, Context, SatSolver, tseitin
+from repro.analysis.formal.sat import SatBudgetExceeded, luby
+
+from tests.test_formal_bdd import VARS, _assignments, _build, _tree
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers_of_two_positions(self):
+        # luby(2^k - 1) == 2^(k-1)
+        for k in range(1, 10):
+            assert luby(2 ** k - 1) == 2 ** (k - 1)
+
+
+def _solve_expr(ctx, expr):
+    """Tseitin-encode ``expr`` and return (model-or-None, cnf)."""
+    cnf = Cnf()
+    memo = {}
+    if expr == ctx.TRUE:
+        return {}, cnf
+    if expr == ctx.FALSE:
+        return None, cnf
+    root = tseitin(ctx, expr, cnf, memo)
+    cnf.add(root)
+    solver = SatSolver.from_cnf(cnf)
+    return solver.solve(), cnf
+
+
+class TestTseitinAgainstBruteForce:
+    @settings(deadline=None)
+    @given(_tree)
+    def test_sat_iff_truth_table_has_a_one(self, tree):
+        ctx = Context()
+        expr = _build(ctx, tree)
+        model, cnf = _solve_expr(ctx, expr)
+        satisfiable = any(
+            ctx.evaluate_many([expr], a) == [1] for a in _assignments()
+        )
+        assert (model is not None) == satisfiable
+        if model is not None and cnf.var_of_name:
+            # The model, projected onto the named variables, satisfies the
+            # original expression.
+            assignment = {name: 0 for name in VARS}
+            for name, var in cnf.var_of_name.items():
+                assignment[name] = model.get(var, 0)
+            assert ctx.evaluate_many([expr], assignment) == [1]
+
+
+class TestStructuralInstances:
+    def test_equivalent_implementations_make_an_unsat_miter(self):
+        # xor(a, b) versus its AND/OR expansion: the miter must be UNSAT.
+        ctx = Context()
+        a, b = ctx.var("a"), ctx.var("b")
+        direct = ctx.xor(a, b)
+        expanded = ctx.or_(
+            ctx.and_(a, ctx.not_(b)), ctx.and_(ctx.not_(a), b)
+        )
+        miter = ctx.xor(direct, expanded)
+        assert miter == ctx.FALSE or _solve_expr(ctx, miter)[0] is None
+
+    def test_inequivalent_implementations_make_a_sat_miter(self):
+        ctx = Context()
+        a, b = ctx.var("a"), ctx.var("b")
+        miter = ctx.xor(ctx.xor(a, b), ctx.or_(a, b))  # differ at a=b=1
+        model, cnf = _solve_expr(ctx, miter)
+        assert model is not None
+        assert model[cnf.var_of_name["a"]] == 1
+        assert model[cnf.var_of_name["b"]] == 1
+
+
+def _pigeonhole(pigeons, holes):
+    """The classic PHP CNF: ``pigeons`` into ``holes``, UNSAT iff p > h."""
+    cnf = Cnf()
+    var = {
+        (p, h): cnf.new_var()
+        for p in range(pigeons)
+        for h in range(holes)
+    }
+    for p in range(pigeons):
+        cnf.add(*[var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            cnf.add(-var[p1, h], -var[p2, h])
+    return cnf
+
+
+class TestSolverCore:
+    def test_pigeonhole_unsat(self):
+        solver = SatSolver.from_cnf(_pigeonhole(4, 3))
+        assert solver.solve() is None
+
+    def test_pigeonhole_sat_when_room(self):
+        cnf = _pigeonhole(3, 3)
+        solver = SatSolver.from_cnf(cnf)
+        model = solver.solve()
+        assert model is not None
+
+    def test_assumptions_force_a_literal(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add(a, b)
+        solver = SatSolver.from_cnf(cnf, assumptions=[-a])
+        model = solver.solve()
+        assert model is not None
+        assert model[a] == 0
+        assert model[b] == 1
+
+    def test_contradictory_assumptions_unsat(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        cnf.add(a)
+        solver = SatSolver.from_cnf(cnf, assumptions=[-a])
+        assert solver.solve() is None
+
+    def test_conflict_budget_raises(self):
+        solver = SatSolver.from_cnf(_pigeonhole(6, 5))
+        with pytest.raises(SatBudgetExceeded):
+            solver.solve(max_conflicts=2)

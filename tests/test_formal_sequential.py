@@ -1,0 +1,136 @@
+"""Sequential verification: k-induction proves every codec pair, seeded
+defects are disproved by BMC with traces that replay through the real
+gate-level simulator, and reset/protocol checks fire when violated."""
+
+import pytest
+
+from repro.analysis.formal import check_sequential
+from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
+from repro.rtl.gates import XNOR2, XOR2
+
+CODECS = sorted(ENCODER_BUILDERS)
+
+
+def _pair(name, width):
+    return (
+        ENCODER_BUILDERS[name](width).netlist,
+        DECODER_BUILDERS[name](width).netlist,
+    )
+
+
+def _mutate_first_gate(netlist, from_spec, to_spec):
+    for gate in netlist._gates:
+        if gate.spec.name == from_spec.name:
+            gate.spec = to_spec
+            return netlist
+    raise AssertionError(f"no {from_spec.name} gate in {netlist.name}")
+
+
+def _replay_roundtrip(encoder, decoder, replay):
+    """Drive both netlists with a formal replay; returns (sent, decoded)
+    integer address streams."""
+    width = sum(
+        1 for name in replay["input_order"] if name.startswith("b[")
+    )
+    enc_sim = encoder.simulate([list(v) for v in replay["vectors"]])
+    enc_out_names = [name for name, _ in encoder.outputs]
+    enc_in_pos = {name: i for i, name in enumerate(replay["input_order"])}
+    dec_in_names = [decoder.net_name(net) for net in decoder.inputs]
+    dec_vectors = []
+    for cycle, row in enumerate(enc_sim.outputs):
+        vector = []
+        for name in dec_in_names:
+            if name in enc_out_names:
+                vector.append(row[enc_out_names.index(name)])
+            else:  # shared primary input such as SEL
+                vector.append(replay["vectors"][cycle][enc_in_pos[name]])
+        dec_vectors.append(vector)
+    dec_sim = decoder.simulate(dec_vectors)
+    dec_out_names = [name for name, _ in decoder.outputs]
+    sent, decoded = [], []
+    for cycle, row in enumerate(dec_sim.outputs):
+        sent.append(
+            sum(
+                replay["vectors"][cycle][enc_in_pos[f"b[{i}]"]] << i
+                for i in range(width)
+            )
+        )
+        decoded.append(
+            sum(
+                row[dec_out_names.index(f"addr[{i}]")] << i
+                for i in range(width)
+            )
+        )
+    return sent, decoded
+
+
+class TestAllCodecsProve:
+    @pytest.mark.parametrize("name", CODECS)
+    def test_roundtrip_proven_by_induction(self, name):
+        encoder, decoder = _pair(name, 4)
+        result = check_sequential(name, encoder, decoder, 4)
+        assert result.proven, (
+            result.bmc_violation,
+            result.protocol_failures,
+            result.reset_mismatches,
+        )
+        assert result.bmc_violation is None
+        assert result.induction_k is not None
+        assert not result.reset_mismatches
+        assert not result.protocol_failures
+
+    def test_stateful_codec_needs_the_mirror_lemma(self):
+        encoder, decoder = _pair("t0", 8)
+        result = check_sequential("t0", encoder, decoder, 8)
+        assert result.proven
+        assert len(result.lemma_flops) == 8  # one mirrored register per bit
+
+    def test_stateless_codec_needs_no_lemma(self):
+        encoder, decoder = _pair("binary", 8)
+        result = check_sequential("binary", encoder, decoder, 8)
+        assert result.proven
+        assert result.lemma_flops == []
+
+
+class TestSeededDefects:
+    def test_mutant_disproved_with_replayable_trace(self):
+        encoder, decoder = _pair("t0", 8)
+        _mutate_first_gate(encoder, XOR2, XNOR2)
+        result = check_sequential("t0", encoder, decoder, 8)
+        assert not result.proven
+        violation = result.bmc_violation
+        assert violation is not None
+        assert violation.property == "roundtrip"
+        # The attached trace reproduces through Netlist.simulate on the
+        # actual gate-level circuits — not just in the symbolic model.
+        sent, decoded = _replay_roundtrip(encoder, decoder, violation.replay)
+        assert decoded[violation.cycle] != sent[violation.cycle]
+
+    def test_clean_circuit_replay_helper_roundtrips(self):
+        # Sanity-check the replay harness itself on an unmutated pair.
+        encoder, decoder = _pair("t0", 8)
+        replay = {
+            "input_order": [f"b[{i}]" for i in range(8)],
+            "vectors": [
+                [(a >> i) & 1 for i in range(8)] for a in (0, 4, 8, 200)
+            ],
+        }
+        sent, decoded = _replay_roundtrip(encoder, decoder, replay)
+        assert decoded == sent
+
+    def test_reset_mismatch_detected(self):
+        encoder, decoder = _pair("t0", 4)
+        flop = decoder._flops[0]
+        flop.init = 1 - flop.init  # desynchronize one mirrored register
+        result = check_sequential("t0", encoder, decoder, 4)
+        assert result.reset_mismatches == [decoder.net_name(flop.q)]
+        assert not result.proven
+
+    def test_protocol_violation_detected(self):
+        # Breaking the encoder's increment detector makes some protocol
+        # or roundtrip guarantee fail — the pass must not stay silent.
+        encoder, decoder = _pair("dualt0", 8)
+        _mutate_first_gate(encoder, XOR2, XNOR2)
+        result = check_sequential("dualt0", encoder, decoder, 8)
+        assert not result.proven
+        assert result.protocol_failures or result.bmc_violation is not None

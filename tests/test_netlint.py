@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import Severity, lint_circuit, lint_netlist
 from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
-from repro.rtl.gates import AND2, BUF, XOR2
+from repro.rtl.gates import AND2, BUF, MUX2, XOR2
 from repro.rtl.netlist import Netlist
 
 
@@ -111,6 +111,42 @@ class TestSeededDefects:
         nl.mark_output(anon, "out")
         report = lint_netlist(nl)
         assert "NL008" in _rules(report)
+
+    def test_nl009_dead_clock_enable(self):
+        # A hold mux whose select constant-folds to 0 through a gated
+        # enable: the register can never leave its reset value.
+        nl = Netlist("seeded")
+        data = nl.add_input("data")
+        enable = nl.add_input("en")
+        handle, q = nl.add_dff(name="reg_q")
+        dead_enable = nl.add_gate(AND2, enable, nl.const(0), name="en_gated")
+        d = nl.add_gate(MUX2, dead_enable, data, q, name="reg_d")
+        nl.drive_dff(handle, d)
+        nl.mark_output(q, "out")
+        report = lint_netlist(nl)
+        assert "NL009" in _rules(report)
+        assert report.ok  # warning, not error
+        assert any("reg_q" in f.message for f in report.warnings)
+
+    def test_nl009_direct_self_loop(self):
+        nl = Netlist("seeded")
+        handle, q = nl.add_dff(name="stuck_q")
+        nl.drive_dff(handle, nl.add_gate(BUF, q))
+        nl.mark_output(q, "out")
+        report = lint_netlist(nl)
+        assert "NL009" in _rules(report)
+
+    def test_nl009_silent_for_live_clock_enable(self):
+        # Same mux, but the select is a real primary input: legal hold path.
+        nl = Netlist("clean")
+        data = nl.add_input("data")
+        enable = nl.add_input("en")
+        handle, q = nl.add_dff(name="reg_q")
+        d = nl.add_gate(MUX2, enable, data, q, name="reg_d")
+        nl.drive_dff(handle, d)
+        nl.mark_output(q, "out")
+        report = lint_netlist(nl)
+        assert "NL009" not in _rules(report)
 
     def test_clean_netlist_has_no_findings(self):
         nl = Netlist("clean")

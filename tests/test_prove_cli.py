@@ -1,0 +1,109 @@
+"""The ``repro-bus prove`` subcommand: exit codes, JSON shape, disproof
+reporting and the formal-counterexample → contracts replay hook."""
+
+import json
+
+import pytest
+
+from repro.analysis.formal import FORMAL_CODECS, ProveOptions, prove_codec
+from repro.cli import main
+from repro.rtl.codecs import ENCODER_BUILDERS
+from repro.rtl.gates import XNOR2, XOR2
+
+
+def _mutant_t0_builder(width=32):
+    circuit = _REAL_T0_BUILDER(width)
+    for gate in circuit.netlist._gates:
+        if gate.spec.name == "XOR2":
+            gate.spec = XNOR2
+            break
+    return circuit
+
+
+_REAL_T0_BUILDER = ENCODER_BUILDERS["t0"]
+
+
+class TestCleanRuns:
+    def test_fast_proves_and_exits_zero(self, capsys):
+        assert main(["prove", "--fast", "--codecs", "binary", "t0"]) == 0
+        out = capsys.readouterr().out
+        assert "all proofs hold" in out
+        assert "width 8" in out
+
+    def test_verbose_shows_proof_summaries(self, capsys):
+        assert main(["prove", "--fast", "--codecs", "binary", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "FV007" in out  # the sequential proof line
+        assert "FV000" in out  # the per-codec summary
+
+    def test_json_shape(self, capsys):
+        assert main(["prove", "--fast", "--codecs", "t0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+        (report,) = payload["reports"]
+        assert report["pass"] == "formal"
+        assert report["target"] == "t0@8"
+        rules = {finding["rule"] for finding in report["findings"]}
+        assert {"FV000", "FV007"} <= rules
+
+    def test_unknown_codec_exits_two(self, capsys):
+        assert main(["prove", "--codecs", "nonesuch"]) == 2
+        assert "no formal spec" in capsys.readouterr().err
+
+    def test_all_formal_codecs_have_circuits(self):
+        assert FORMAL_CODECS == sorted(ENCODER_BUILDERS)
+
+
+class TestDisproofs:
+    @pytest.fixture()
+    def broken_t0(self, monkeypatch):
+        monkeypatch.setitem(ENCODER_BUILDERS, "t0", _mutant_t0_builder)
+
+    def test_disproof_exits_nonzero(self, broken_t0, capsys):
+        assert main(["prove", "--fast", "--codecs", "t0"]) == 1
+        out = capsys.readouterr().out
+        assert "DISPROVED" in out
+
+    def test_disproof_json_carries_replay_and_contracts_hook(
+        self, broken_t0, capsys
+    ):
+        assert main(["prove", "--fast", "--codecs", "t0", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        formal = payload["reports"][0]
+        errors = [
+            f for f in formal["findings"] if f["severity"] == "error"
+        ]
+        assert errors
+        replays = [
+            f["data"]["replay"]
+            for f in formal["findings"]
+            if f.get("data") and f["data"].get("replay")
+        ]
+        assert replays, "a disproof must attach a runnable reproduction"
+        assert all("vectors" in r and "input_order" in r for r in replays)
+        # The contracts pass consumed the counterexamples as regression
+        # vectors against the behavioural models; the defect is RTL-only,
+        # so they replay clean (CC009) rather than reproducing (CC008).
+        contracts = payload["reports"][-1]
+        assert contracts["pass"] == "contracts"
+        assert contracts["target"] == "formal-counterexamples"
+        rules = {finding["rule"] for finding in contracts["findings"]}
+        assert "CC009" in rules
+
+    def test_prove_codec_api_reports_the_same_defect(self, broken_t0):
+        report = prove_codec("t0", ProveOptions(width=8))
+        assert not report.ok
+        rules = {finding.rule for finding in report.findings}
+        assert rules & {"FV001", "FV003", "FV005"}
+
+
+class TestStrictAndBackendFlags:
+    def test_backend_flag_accepted(self, capsys):
+        assert main(
+            ["prove", "--fast", "--codecs", "binary", "--backend", "sat"]
+        ) == 0
+
+    def test_no_crosscheck_still_proves(self, capsys):
+        assert main(
+            ["prove", "--fast", "--codecs", "binary", "--no-crosscheck"]
+        ) == 0
