@@ -34,7 +34,7 @@ def run_stream_table(
     """Build a full-length paper table, publish it, check its averages."""
     table = builder()
     text = table.render() + "\n\n" + compare_with_paper(table_id, table)
-    publish(results_dir, f"table{table_id}", text)
+    publish(results_dir, f"table{table_id}", text, rows=table.as_dict())
 
     paper = PAPER_AVERAGES[f"table{table_id}"]
     tolerance = AVERAGE_TOLERANCE[table_id]

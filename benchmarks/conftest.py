@@ -6,13 +6,22 @@ ablation) at full stream length, prints it, writes it under
 pytest-benchmark.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Each published result produces two files: ``<name>.txt`` (the rendered
+block quoted by EXPERIMENTS.md) and ``<name>.json`` (the same result
+machine-readable: optional structured rows plus a provenance manifest —
+git sha, counter snapshot, a digest of the rendered text).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any, Optional
 
 import pytest
+
+from repro.obs.manifest import collect_manifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -23,8 +32,20 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def publish(results_dir: Path, name: str, text: str) -> None:
-    """Print a result block and persist it for EXPERIMENTS.md."""
+def publish(
+    results_dir: Path, name: str, text: str, rows: Optional[Any] = None
+) -> None:
+    """Print a result block and persist it (text + JSON) for EXPERIMENTS.md."""
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "name": name,
+        "rows": rows,
+        "manifest": collect_manifest(
+            command=f"benchmarks/{name}", result_text=text
+        ),
+    }
+    (results_dir / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -26,8 +26,15 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.formal.expr import AND, CONST, NOT, VAR, XOR, Context, ExprId
+from repro.obs import metrics as obs_metrics
 
 BddNode = int
+
+# Module-cached instruments: _mk is the hottest loop in the formal backend,
+# so node allocation bumps the counter attribute directly instead of going
+# through the registry lookup.  Registry.reset() zeroes these in place.
+_NODES_ALLOCATED = obs_metrics.counter("formal.bdd.nodes")
+_BUDGET_HITS = obs_metrics.counter("formal.bdd.blowups")
 
 #: Default unique-table budget; the full 32-bit sequential proofs stay an
 #: order of magnitude below this, so hitting it signals a genuine blowup.
@@ -93,6 +100,7 @@ class BDD:
         if node is not None:
             return node
         if len(self._var) >= self.node_limit:
+            _BUDGET_HITS.value += 1
             raise BddBlowup(
                 f"BDD unique table exceeded {self.node_limit} nodes"
             )
@@ -101,6 +109,7 @@ class BDD:
         self._hi.append(hi)
         node = len(self._var) - 1
         self._unique[key] = node
+        _NODES_ALLOCATED.value += 1
         return node
 
     # ------------------------------------------------------------------

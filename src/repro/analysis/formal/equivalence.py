@@ -35,6 +35,7 @@ from repro.analysis.formal.expr import Context, ExprId
 from repro.analysis.formal.sat import SatSolver
 from repro.analysis.formal.specs import DEFAULT_STRIDE, build_spec
 from repro.analysis.formal.symbolic import LiftedCircuit, lift_circuit
+from repro.obs import metrics as obs_metrics
 from repro.rtl.netlist import Netlist
 
 BACKEND_AUTO = "auto"
@@ -264,6 +265,9 @@ def check_equivalence(
                 # The table is saturated; SAT takes over for good.
                 bdd_backend = None
                 result.fallbacks += 1
+                obs_metrics.counter(
+                    "formal.equivalence.fallbacks", codec=codec, role=role
+                ).inc()
         if not decided:
             if sat_backend is None:
                 sat_backend = _SatBackend(lifted)

@@ -35,6 +35,7 @@ from repro.analysis.formal.cnf import Cnf, tseitin
 from repro.analysis.formal.expr import Context, ExprId
 from repro.analysis.formal.sat import SatSolver
 from repro.analysis.formal.specs import DEFAULT_STRIDE, protocol_properties
+from repro.obs import metrics as obs_metrics
 from repro.analysis.formal.symbolic import (
     _INDEXED,
     interleaved_order,
@@ -550,6 +551,10 @@ def check_sequential(
             break
     result.cuts_used += decider.cuts_used
     result.sat_fallbacks += decider.sat_fallbacks
+    obs_metrics.counter("formal.induction.cuts").inc(decider.cuts_used)
+    obs_metrics.counter("formal.induction.sat_fallbacks").inc(
+        decider.sat_fallbacks
+    )
     if result.bmc_violation is not None:
         return result
 
@@ -567,6 +572,10 @@ def check_sequential(
         model = decider.check_valid(goal)
         result.cuts_used += decider.cuts_used
         result.sat_fallbacks += decider.sat_fallbacks
+        obs_metrics.counter("formal.induction.cuts").inc(decider.cuts_used)
+        obs_metrics.counter("formal.induction.sat_fallbacks").inc(
+            decider.sat_fallbacks
+        )
         if model is None:
             result.induction_k = k
             break

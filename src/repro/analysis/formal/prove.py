@@ -57,6 +57,7 @@ from repro.analysis.formal.induction import (
 from repro.analysis.formal.specs import DEFAULT_STRIDE, build_spec
 from repro.analysis.report import AnalysisReport, Severity
 from repro.core.registry import make_codec
+from repro.obs.trace import span as obs_span
 from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
 
 #: Codecs with both a gate-level circuit and a formal spec.
@@ -256,14 +257,16 @@ def prove_codec(
                 for _, q, init in decoder.netlist.flops
             },
         }
-        for description in crosscheck_spec(
-            name,
-            options.width,
-            options.stride,
-            encoder.extra_lines,
-            init_state,
-            encoder.uses_sel,
-        ):
+        with obs_span("crosscheck", codec=name):
+            mismatches = crosscheck_spec(
+                name,
+                options.width,
+                options.stride,
+                encoder.extra_lines,
+                init_state,
+                encoder.uses_sel,
+            )
+        for description in mismatches:
             report.add(
                 "FV010", Severity.ERROR, description, subjects=(name,)
             )
@@ -276,15 +279,16 @@ def prove_codec(
         ("encoder", encoder, "FV001"),
         ("decoder", decoder, "FV002"),
     ):
-        result = check_equivalence(
-            name,
-            role,
-            circuit.netlist,
-            options.width,
-            stride=options.stride,
-            backend=options.backend,
-            node_limit=options.node_limit,
-        )
+        with obs_span("equivalence", codec=name, role=role):
+            result = check_equivalence(
+                name,
+                role,
+                circuit.netlist,
+                options.width,
+                stride=options.stride,
+                backend=options.backend,
+                node_limit=options.node_limit,
+            )
         _report_equivalence(
             report, name, rule, role, result, circuit.netlist.name
         )
@@ -292,17 +296,18 @@ def prove_codec(
             backend_counts[backend] = backend_counts.get(backend, 0) + 1
 
     # --- sequential checks (FV003…FV007) --------------------------------
-    seq = check_sequential(
-        name,
-        encoder.netlist,
-        decoder.netlist,
-        options.width,
-        stride=options.stride,
-        bmc_depth=options.bmc_depth,
-        k_max=options.k_max,
-        node_limit=options.node_limit,
-        cut_threshold=options.cut_threshold,
-    )
+    with obs_span("sequential", codec=name):
+        seq = check_sequential(
+            name,
+            encoder.netlist,
+            decoder.netlist,
+            options.width,
+            stride=options.stride,
+            bmc_depth=options.bmc_depth,
+            k_max=options.k_max,
+            node_limit=options.node_limit,
+            cut_threshold=options.cut_threshold,
+        )
     for flop in seq.reset_mismatches:
         report.add(
             "FV006",

@@ -17,6 +17,7 @@ import heapq
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.formal.cnf import Cnf
+from repro.obs import metrics as obs_metrics
 
 
 def luby(i: int) -> int:
@@ -54,6 +55,8 @@ class SatSolver:
         self.heap: List = []
         self.ok = True
         self.conflicts = 0
+        self.decisions = 0
+        self.restarts = 0
 
     # ------------------------------------------------------------------
     # Clause management
@@ -237,13 +240,29 @@ class SatSolver:
             return None
         for var in range(1, self.num_vars + 1):
             heapq.heappush(self.heap, (-self.activity[var], var))
+        start_conflicts = self.conflicts
+        start_decisions = self.decisions
         restart_count = 0
-        while True:
-            restart_count += 1
-            budget = 100 * luby(restart_count)
-            result = self._search(budget, max_conflicts)
-            if result is not None:
-                return result[0]
+        try:
+            while True:
+                restart_count += 1
+                budget = 100 * luby(restart_count)
+                result = self._search(budget, max_conflicts)
+                if result is not None:
+                    return result[0]
+        finally:
+            # restart_count - 1 searches were abandoned mid-flight; flush the
+            # run's statistics even when SatBudgetExceeded propagates.
+            self.restarts += max(0, restart_count - 1)
+            obs_metrics.counter("formal.sat.restarts").inc(
+                max(0, restart_count - 1)
+            )
+            obs_metrics.counter("formal.sat.conflicts").inc(
+                self.conflicts - start_conflicts
+            )
+            obs_metrics.counter("formal.sat.decisions").inc(
+                self.decisions - start_decisions
+            )
 
     def _search(self, budget: int, max_conflicts: Optional[int]):
         conflicts_here = 0
@@ -278,6 +297,7 @@ class SatSolver:
                     for var in range(1, self.num_vars + 1)
                 }
                 return (model,)
+            self.decisions += 1
             self.trail_lim.append(len(self.trail))
             self._enqueue(decision, None)
 

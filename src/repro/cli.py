@@ -16,13 +16,21 @@ Subcommands
 * ``prove``                  — formal verification: symbolic equivalence
                                against the paper specs plus k-induction
                                proofs of ``decode(encode(a)) == a``
+* ``profile``                — run a workload under tracing and print a
+                               per-stage wall-time breakdown
+
+Every subcommand also accepts the observability flags ``--trace FILE``
+(JSONL span events), ``--stats`` (counter deltas on stderr) and
+``--manifest FILE`` (JSON provenance record of the run).
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import sys
-from typing import Optional, Sequence
+import time
+from typing import Any, List, Optional, Sequence
 
 from repro.core import available_codecs, make_codec
 from repro.metrics import compare_codecs, render_table
@@ -56,10 +64,28 @@ def _cmd_list_codecs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _usage_error(command: str, message: str) -> int:
+    """Consistent bad-argument handling: one stderr line, exit code 2."""
+    print(f"repro-bus {command}: error: {message}", file=sys.stderr)
+    return 2
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro import experiments
 
     number = args.number
+    if not 1 <= number <= 9:
+        return _usage_error(
+            "table", f"no such table: {number} (paper tables are 1-9)"
+        )
+    if args.width <= 0:
+        return _usage_error(
+            "table", f"--width must be positive, got {args.width}"
+        )
+    if args.length < 0:
+        return _usage_error(
+            "table", f"--length must be non-negative, got {args.length}"
+        )
     if number == 1:
         print(experiments.table1_text(width=args.width))
         return 0
@@ -69,15 +95,12 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print()
         print(experiments.compare_with_paper(number, table))
         return 0
-    if number in (8, 9):
-        runs = experiments.simulate_codecs(length=args.length or 1500)
-        if number == 8:
-            print(experiments.render_table8(experiments.table8(runs)))
-        else:
-            print(experiments.render_table9(experiments.table9(runs)))
-        return 0
-    print(f"no such table: {number} (paper tables are 1-9)", file=sys.stderr)
-    return 1
+    runs = experiments.simulate_codecs(length=args.length or 1500)
+    if number == 8:
+        print(experiments.render_table8(experiments.table8(runs)))
+    else:
+        print(experiments.render_table9(experiments.table9(runs)))
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -398,9 +421,18 @@ def _cmd_prove(args: argparse.Namespace) -> int:
 
     totals = summarize(reports)
     if args.json:
+        from repro.obs import metrics as obs_metrics
+
         print(
             json.dumps(
-                {"reports": [r.to_dict() for r in reports], "summary": totals},
+                {
+                    "reports": [r.to_dict() for r in reports],
+                    "summary": totals,
+                    # Engine-internal counters (BDD node budget hits, SAT
+                    # conflicts/decisions/restarts, induction cut points)
+                    # accumulated over this invocation.
+                    "metrics": obs_metrics.snapshot("formal.")["counters"],
+                },
                 indent=2,
             )
         )
@@ -421,6 +453,75 @@ def _cmd_prove(args: argparse.Namespace) -> int:
     if totals["errors"]:
         return 1
     if args.strict and totals["warnings"]:
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import run_profile
+
+    workload = args.workload
+    if workload == "table":
+        from repro import experiments
+
+        number = args.number
+        if number not in experiments.TABLE_BUILDERS:
+            return _usage_error(
+                "profile",
+                f"--number must be one of "
+                f"{sorted(experiments.TABLE_BUILDERS)} for the table "
+                f"workload, got {number}",
+            )
+        length = args.length or (400 if args.fast else 0)
+        params: dict = {"number": number, "length": length}
+
+        def fn() -> Any:
+            return experiments.TABLE_BUILDERS[number](length)
+
+    elif workload == "power":
+        from repro.experiments import simulate_codecs
+
+        length = args.length or (300 if args.fast else 1000)
+        params = {"benchmark": args.benchmark, "length": length}
+
+        def fn() -> Any:
+            return simulate_codecs(benchmark=args.benchmark, length=length)
+
+    else:  # prove
+        from repro.analysis.formal import (
+            FORMAL_CODECS,
+            ProveOptions,
+            prove_codec,
+        )
+
+        width = 8 if args.fast else args.width
+        names = args.codecs or list(FORMAL_CODECS)
+        unknown = [n for n in names if n not in FORMAL_CODECS]
+        if unknown:
+            return _usage_error(
+                "profile",
+                f"no formal spec for codec(s): {', '.join(unknown)} "
+                f"(provable: {', '.join(FORMAL_CODECS)})",
+            )
+        options = ProveOptions(width=width)
+        params = {"width": width, "codecs": ",".join(names)}
+
+        def fn() -> Any:
+            return [prove_codec(name, options) for name in names]
+
+    _, result = run_profile(workload, fn, params=params)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    if result.schema_errors:
+        print(
+            f"repro-bus profile: {len(result.schema_errors)} schema-invalid "
+            "trace events",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -448,17 +549,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-codecs", help="list registered bus codes").set_defaults(
+    # Observability flags shared by every subcommand (see repro.obs).
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_group = obs_parent.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write span events to FILE as JSONL while the command runs",
+    )
+    obs_group.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the run's counter increments to stderr on exit",
+    )
+    obs_group.add_argument(
+        "--manifest",
+        metavar="FILE",
+        help="write a JSON run manifest (git sha, stages, result digest)",
+    )
+
+    def add_command(name: str, **kwargs: Any) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[obs_parent], **kwargs)
+
+    add_command("list-codecs", help="list registered bus codes").set_defaults(
         func=_cmd_list_codecs
     )
 
-    p_table = sub.add_parser("table", help="regenerate a paper table (1-9)")
+    p_table = add_command("table", help="regenerate a paper table (1-9)")
     p_table.add_argument("number", type=int)
     p_table.add_argument("--length", type=int, default=0, help="stream length override")
     p_table.add_argument("--width", type=int, default=32)
     p_table.set_defaults(func=_cmd_table)
 
-    p_analyze = sub.add_parser("analyze", help="compare codes on a stream")
+    p_analyze = add_command("analyze", help="compare codes on a stream")
     p_analyze.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
     p_analyze.add_argument(
         "--kind",
@@ -470,7 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--codecs", nargs="*", help="codec names to compare")
     p_analyze.set_defaults(func=_cmd_analyze)
 
-    p_generate = sub.add_parser("generate", help="write a synthetic trace")
+    p_generate = add_command("generate", help="write a synthetic trace")
     p_generate.add_argument("output")
     p_generate.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
     p_generate.add_argument(
@@ -481,16 +604,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("--length", type=int, default=0)
     p_generate.set_defaults(func=_cmd_generate)
 
-    p_kernel = sub.add_parser("kernel", help="run a CPU kernel")
+    p_kernel = add_command("kernel", help="run a CPU kernel")
     p_kernel.add_argument("name", choices=kernel_names())
     p_kernel.add_argument("--output", help="save the multiplexed trace here")
     p_kernel.set_defaults(func=_cmd_kernel)
 
-    p_sweep = sub.add_parser("sweep", help="run an ablation sweep")
+    p_sweep = add_command("sweep", help="run an ablation sweep")
     p_sweep.add_argument("which", choices=("stride", "seq"))
     p_sweep.set_defaults(func=_cmd_sweep)
 
-    p_power = sub.add_parser("power", help="gate-level codec power")
+    p_power = add_command("power", help="gate-level codec power")
     p_power.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
     p_power.add_argument("--length", type=int, default=1000)
     p_power.add_argument("--load-pf", type=float, default=0.4)
@@ -502,11 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_power.set_defaults(func=_cmd_power)
 
-    p_timing = sub.add_parser("timing", help="codec circuit critical paths")
+    p_timing = add_command("timing", help="codec circuit critical paths")
     p_timing.add_argument("--width", type=int, default=32)
     p_timing.set_defaults(func=_cmd_timing)
 
-    p_faults = sub.add_parser("faults", help="fault-injection campaign")
+    p_faults = add_command("faults", help="fault-injection campaign")
     p_faults.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
     p_faults.add_argument(
         "--kind",
@@ -524,7 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_faults.set_defaults(func=_cmd_faults)
 
-    p_explore = sub.add_parser("explore", help="design-space exploration")
+    p_explore = add_command("explore", help="design-space exploration")
     p_explore.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")
     p_explore.add_argument(
         "--kind",
@@ -536,7 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--load-pf", type=float, default=50.0)
     p_explore.set_defaults(func=_cmd_explore)
 
-    p_lint = sub.add_parser(
+    p_lint = add_command(
         "lint",
         help="static analysis: netlist lint, activity agreement, contracts",
         description=(
@@ -595,7 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--skip-contracts", action="store_true")
     p_lint.set_defaults(func=_cmd_lint)
 
-    p_prove = sub.add_parser(
+    p_prove = add_command(
         "prove",
         help="formal verification: equivalence + k-induction proofs",
         description=(
@@ -666,19 +789,160 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prove.set_defaults(func=_cmd_prove)
 
-    p_export = sub.add_parser("export", help="write all results as JSON")
+    p_export = add_command("export", help="write all results as JSON")
     p_export.add_argument("output")
     p_export.add_argument("--length", type=int, default=0)
     p_export.add_argument("--no-power", action="store_true")
     p_export.add_argument("--no-sweeps", action="store_true")
     p_export.set_defaults(func=_cmd_export)
 
+    p_profile = add_command(
+        "profile",
+        help="per-stage wall-time breakdown of a pipeline workload",
+        description=(
+            "Replay a workload under tracing and report where the time "
+            "goes: per-stage wall seconds (tracegen/encode/count for "
+            "tables, tracegen/simulate/count for power, "
+            "crosscheck/equivalence/sequential for prove), the counter "
+            "increments the run caused, and a schema check over every "
+            "captured trace event (nonzero exit on violations)."
+        ),
+    )
+    p_profile.add_argument(
+        "workload", choices=("table", "power", "prove"), help="what to profile"
+    )
+    p_profile.add_argument(
+        "--number",
+        type=int,
+        default=4,
+        help="paper table to profile (2-7, table workload only)",
+    )
+    p_profile.add_argument(
+        "--length", type=int, default=0, help="stream length override"
+    )
+    p_profile.add_argument(
+        "--benchmark",
+        choices=BENCHMARK_NAMES,
+        default="gzip",
+        help="benchmark stream for the power workload",
+    )
+    p_profile.add_argument(
+        "--width", type=int, default=32, help="bus width for prove"
+    )
+    p_profile.add_argument(
+        "--codecs", nargs="*", help="restrict the prove workload to these"
+    )
+    p_profile.add_argument(
+        "--fast",
+        action="store_true",
+        help="small workload (CI smoke: short streams, prove at width 8)",
+    )
+    p_profile.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
     return parser
 
 
+class _Tee(io.TextIOBase):
+    """Copies everything written to stdout so manifests can digest it."""
+
+    def __init__(self, stream: Any):
+        self.stream = stream
+        self._parts: List[str] = []
+
+    def write(self, text: str) -> int:
+        self._parts.append(text)
+        return self.stream.write(text)
+
+    def flush(self) -> None:
+        self.stream.flush()
+
+    def getvalue(self) -> str:
+        return "".join(self._parts)
+
+
+def _run_observed(
+    args: argparse.Namespace,
+    raw_argv: Sequence[str],
+    trace_path: Optional[str],
+    stats: bool,
+    manifest_path: Optional[str],
+) -> int:
+    """Run a subcommand with the requested observability plumbing."""
+    from repro.obs import manifest as obs_manifest
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    sinks: List[Any] = []
+    if trace_path:
+        sinks.append(obs_trace.JsonlSink(trace_path))
+    memory: Optional[obs_trace.MemorySink] = None
+    if manifest_path:
+        memory = obs_trace.MemorySink()
+        sinks.append(memory)
+    before = obs_metrics.snapshot()
+    tee: Optional[_Tee] = None
+    if manifest_path:
+        tee = _Tee(sys.stdout)
+        sys.stdout = tee  # type: ignore[assignment]
+    if sinks:
+        obs_trace.enable(*sinks)
+    started = time.perf_counter()
+    status: Optional[int] = None
+    try:
+        status = args.func(args)
+        return status
+    finally:
+        wall_s = time.perf_counter() - started
+        if sinks:
+            obs_trace.disable()
+        if tee is not None:
+            sys.stdout = tee.stream
+        if manifest_path:
+            assert memory is not None and tee is not None
+            obs_manifest.write_manifest(
+                manifest_path,
+                obs_manifest.collect_manifest(
+                    command=args.command,
+                    argv=raw_argv,
+                    seed=getattr(args, "seed", None),
+                    stream_length=getattr(args, "length", None),
+                    wall_s=wall_s,
+                    stages=obs_manifest.aggregate_stages(memory.events),
+                    result_text=tee.getvalue(),
+                    extra={"exit_status": status},
+                ),
+            )
+        if stats:
+            deltas = obs_metrics.counter_deltas(before, obs_metrics.snapshot())
+            for item in deltas:
+                labels = item.get("labels")
+                suffix = (
+                    "{"
+                    + ",".join(
+                        f"{k}={v}" for k, v in sorted(labels.items())
+                    )
+                    + "}"
+                    if labels
+                    else ""
+                )
+                print(
+                    f"{item['name']}{suffix} = {item['value']}",
+                    file=sys.stderr,
+                )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw_argv)
+    trace_path = getattr(args, "trace", None)
+    stats = bool(getattr(args, "stats", False))
+    manifest_path = getattr(args, "manifest", None)
+    if not (trace_path or stats or manifest_path):
+        return args.func(args)
+    return _run_observed(args, raw_argv, trace_path, stats, manifest_path)
 
 
 if __name__ == "__main__":  # pragma: no cover

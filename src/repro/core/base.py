@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.word import EncodedWord, mask
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 
 #: Select-line value marking an instruction slot on a multiplexed bus.
 SEL_INSTRUCTION = 1
@@ -138,7 +140,10 @@ def encode_stream(
     sels: Optional[Sequence[int]] = None,
 ) -> List[EncodedWord]:
     """Encode ``addresses`` with a fresh encoder from ``codec``."""
-    return codec.make_encoder().encode_stream(addresses, sels)
+    with obs_span("encode", codec=codec.name, cycles=len(addresses)):
+        words = codec.make_encoder().encode_stream(addresses, sels)
+    obs_metrics.counter("core.encoded_words", codec=codec.name).inc(len(words))
+    return words
 
 
 def decode_stream(
@@ -147,7 +152,10 @@ def decode_stream(
     sels: Optional[Sequence[int]] = None,
 ) -> List[int]:
     """Decode ``words`` with a fresh decoder from ``codec``."""
-    return codec.make_decoder().decode_stream(words, sels)
+    with obs_span("decode", codec=codec.name, cycles=len(words)):
+        decoded = codec.make_decoder().decode_stream(words, sels)
+    obs_metrics.counter("core.decoded_words", codec=codec.name).inc(len(decoded))
+    return decoded
 
 
 def roundtrip_stream(

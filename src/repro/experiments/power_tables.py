@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics import count_transitions, render_table
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
 from repro.rtl.netlist import SimulationResult
 from repro.rtl.pads import PAD_INPUT_CAP, OutputPadBank
@@ -58,13 +60,18 @@ def simulate_codecs(
     trace = multiplexed_trace(get_profile(benchmark), length)
     runs: Dict[str, CodecPowerRun] = {}
     for name in codes:
-        encoder = ENCODER_BUILDERS[name](width)
-        enc_result, words = encoder.run(trace.addresses, trace.sels)
-        decoder = DECODER_BUILDERS[name](width)
-        dec_result, decoded = decoder.run(words, trace.sels)
+        with obs_span("simulate", codec=name, cycles=len(trace)):
+            encoder = ENCODER_BUILDERS[name](width)
+            enc_result, words = encoder.run(trace.addresses, trace.sels)
+            decoder = DECODER_BUILDERS[name](width)
+            dec_result, decoded = decoder.run(words, trace.sels)
+        obs_metrics.counter("rtl.simulated_cycles", codec=name).inc(
+            2 * len(trace)
+        )
         if list(decoded) != list(trace.addresses):
             raise AssertionError(f"{name} circuit roundtrip failed")
-        report = count_transitions(words, width=width)
+        with obs_span("count", codec=name, cycles=len(words)):
+            report = count_transitions(words, width=width)
         runs[name] = CodecPowerRun(
             name=name,
             encoder_result=enc_result,

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.base import Codec, encode_stream
 from repro.metrics.stats import in_sequence_fraction
 from repro.metrics.transitions import TransitionReport, count_transitions
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 
 
 @dataclass(frozen=True)
@@ -64,11 +66,19 @@ def compare_codecs(
         if codec.width != width:
             raise ValueError("all codecs in a comparison must share a width")
 
-    binary_report = count_transitions(_binary_words(addresses), width=width)
+    with obs_span("count", codec="binary", cycles=len(addresses)):
+        binary_report = count_transitions(_binary_words(addresses), width=width)
+    obs_metrics.counter("metrics.transitions", codec="binary").inc(
+        binary_report.total
+    )
     results: List[CodecResult] = []
     for codec in codecs:
         words = encode_stream(codec, addresses, sels)
-        report = count_transitions(words, width=width)
+        with obs_span("count", codec=codec.name, cycles=len(words)):
+            report = count_transitions(words, width=width)
+        obs_metrics.counter("metrics.transitions", codec=codec.name).inc(
+            report.total
+        )
         savings = (
             1.0 - report.total / binary_report.total
             if binary_report.total

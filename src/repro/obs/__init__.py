@@ -1,0 +1,101 @@
+"""Observability substrate: tracing spans, metrics and run manifests.
+
+Three layers, all zero-dependency:
+
+* :mod:`repro.obs.trace` — nestable context-manager spans emitting JSONL
+  events to pluggable sinks; near-zero-cost no-ops while disabled.
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges and histograms with a snapshot API (always on).
+* :mod:`repro.obs.manifest` — JSON provenance records (git sha, seed,
+  per-stage wall time, counter snapshot, result digest) written next to
+  pipeline outputs.
+* :mod:`repro.obs.profiling` — the ``repro-bus profile`` engine.
+
+See ``docs/observability.md`` for the event schema and counter catalog.
+"""
+
+from repro.obs.manifest import (
+    DETERMINISTIC_FIELDS,
+    MANIFEST_SCHEMA_VERSION,
+    aggregate_stages,
+    collect_manifest,
+    deterministic_view,
+    digest_text,
+    git_sha,
+    stage_times_from_events,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    counter,
+    counter_deltas,
+    gauge,
+    histogram,
+    snapshot,
+)
+from repro.obs.profiling import (
+    WORKLOAD_STAGES,
+    ProfileResult,
+    StageStat,
+    run_profile,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    Span,
+    capture,
+    disable,
+    enable,
+    enabled,
+    event,
+    load_jsonl,
+    span,
+    validate_event,
+    validate_events,
+)
+
+__all__ = [
+    "Counter",
+    "DETERMINISTIC_FIELDS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MANIFEST_SCHEMA_VERSION",
+    "MemorySink",
+    "NULL_SPAN",
+    "ProfileResult",
+    "REGISTRY",
+    "Registry",
+    "SCHEMA_VERSION",
+    "Span",
+    "StageStat",
+    "WORKLOAD_STAGES",
+    "aggregate_stages",
+    "capture",
+    "collect_manifest",
+    "counter",
+    "counter_deltas",
+    "deterministic_view",
+    "digest_text",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "gauge",
+    "git_sha",
+    "histogram",
+    "load_jsonl",
+    "run_profile",
+    "snapshot",
+    "span",
+    "stage_times_from_events",
+    "validate_event",
+    "validate_events",
+    "write_manifest",
+]

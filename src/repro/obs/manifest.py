@@ -1,0 +1,170 @@
+"""Run manifests: provenance records written next to pipeline outputs.
+
+A manifest answers "which code, which inputs, which knobs produced this
+file?" for every ``repro-bus`` invocation run with ``--manifest`` and
+every benchmark result published by ``benchmarks/conftest.publish``:
+
+* **identity** — git commit, python version, platform;
+* **inputs** — the command, its argv, the seed and stream length in
+  force;
+* **work** — wall time, per-stage wall seconds (aggregated from trace
+  spans when tracing was on), and a counter snapshot;
+* **result** — a SHA-256 digest of the rendered output, so two runs can
+  be compared without storing the output twice.
+
+Wall times, timestamps and process-cumulative counters legitimately
+differ between reruns; :func:`deterministic_view` strips them, leaving
+exactly the fields that must be identical when a seeded run is repeated
+— the property ``tests/test_obs.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.metrics import snapshot as metrics_snapshot
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Fields that must survive a rerun of the same seeded workload.
+DETERMINISTIC_FIELDS = (
+    "schema_version",
+    "command",
+    "argv",
+    "git_sha",
+    "seed",
+    "stream_length",
+    "result_digest",
+)
+
+_git_sha_cache: Optional[str] = ""
+
+
+def git_sha() -> Optional[str]:
+    """The repository HEAD commit, or None outside a git checkout."""
+    global _git_sha_cache
+    if _git_sha_cache == "":
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+        except Exception:
+            _git_sha_cache = None
+    return _git_sha_cache
+
+
+def digest_text(text: str) -> str:
+    """Stable content digest of a rendered result block."""
+    return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def collect_manifest(
+    command: str,
+    argv: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    stream_length: Optional[int] = None,
+    wall_s: Optional[float] = None,
+    stages: Optional[Dict[str, Any]] = None,
+    result_text: Optional[str] = None,
+    counter_prefix: str = "",
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one manifest dict (JSON-ready)."""
+    manifest: Dict[str, Any] = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "command": command,
+        "argv": list(argv) if argv is not None else None,
+        "started_at": datetime.now(timezone.utc).isoformat(),
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "seed": seed,
+        "stream_length": stream_length,
+        "wall_s": wall_s,
+        "stages": dict(stages) if stages else {},
+        "counters": metrics_snapshot(counter_prefix)["counters"],
+        "result_digest": (
+            digest_text(result_text) if result_text is not None else None
+        ),
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def deterministic_view(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """The rerun-stable subset of a manifest (see module docstring)."""
+    return {key: manifest.get(key) for key in DETERMINISTIC_FIELDS}
+
+
+def write_manifest(
+    path: Union[str, Path], manifest: Dict[str, Any]
+) -> Path:
+    """Serialize a manifest to ``path`` (parent directories created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def aggregate_stages(
+    events: Sequence[Dict[str, Any]],
+    stage_names: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-stage ``{"wall_s", "spans"}``, charging outermost spans only.
+
+    A span is charged iff no ancestor span has a name in the aggregated
+    set — so ``tracegen`` inside ``tracegen`` (a multiplexed trace
+    building its instruction source) and ``count`` inside ``encode``
+    count once, keeping the per-stage times additive and comparable to
+    the run's total wall time.
+    """
+    names: Dict[int, str] = {}
+    parents: Dict[int, Optional[int]] = {}
+    for entry in events:
+        if entry.get("type") == "span_begin":
+            names[entry["id"]] = entry["name"]
+            parents[entry["id"]] = entry.get("parent")
+    stage_set = (
+        set(stage_names) if stage_names is not None else set(names.values())
+    )
+    stages: Dict[str, Dict[str, float]] = {}
+    for entry in events:
+        if entry.get("type") != "span_end" or entry["name"] not in stage_set:
+            continue
+        ancestor = entry.get("parent")
+        nested = False
+        while ancestor is not None:
+            if names.get(ancestor) in stage_set:
+                nested = True
+                break
+            ancestor = parents.get(ancestor)
+        if nested:
+            continue
+        stage = stages.setdefault(entry["name"], {"wall_s": 0.0, "spans": 0})
+        stage["wall_s"] += float(entry.get("dur_s", 0.0))
+        stage["spans"] += 1
+    return stages
+
+
+def stage_times_from_events(
+    events: Sequence[Dict[str, Any]],
+    stage_names: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Outermost span wall time by name (see :func:`aggregate_stages`)."""
+    return {
+        name: stage["wall_s"]
+        for name, stage in aggregate_stages(events, stage_names).items()
+    }

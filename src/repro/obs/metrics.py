@@ -1,0 +1,222 @@
+"""Process-global metrics: counters, gauges and histograms.
+
+Unlike tracing (off by default), metrics are **always on**: instruments
+are plain objects with an attribute update per observation, cheap enough
+for the paths they sit on (one update per stream, per solver run, per
+fixpoint — never per address or per BDD apply; the one exception, BDD
+node allocation, bumps ``Counter.value`` inline without a method call).
+
+Instruments are identified by ``(name, labels)`` and created on first
+use; module-level callers cache the returned object, so
+:meth:`Registry.reset` zeroes values in place rather than discarding
+instruments.  :meth:`Registry.snapshot` returns a JSON-ready dict — the
+payload of ``repro-bus --stats``, the ``metrics`` block of
+``repro-bus prove --json`` and the counter section of run manifests.
+
+The counter catalog lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (resettable)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Summary statistics plus power-of-two magnitude buckets.
+
+    ``buckets[i]`` counts observations with ``2**(i-1) <= v < 2**i``
+    (``buckets[0]`` holds ``v < 1``); enough resolution to tell a
+    100-node BDD from a 100k-node one without storing samples.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
+
+    N_BUCKETS = 40
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self._zero()
+
+    def _zero(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * self.N_BUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = max(0, min(self.N_BUCKETS - 1, int(value).bit_length()))
+        self.buckets[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Registry:
+    """Get-or-create instrument store with snapshot and in-place reset."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1])
+        return instrument
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """JSON-ready state of every instrument matching ``prefix``."""
+
+        def entry(instrument: Any) -> Dict[str, Any]:
+            base: Dict[str, Any] = {"name": instrument.name}
+            if instrument.labels:
+                base["labels"] = dict(instrument.labels)
+            return base
+
+        counters: List[Dict[str, Any]] = []
+        for instrument in self._counters.values():
+            if instrument.name.startswith(prefix):
+                counters.append({**entry(instrument), "value": instrument.value})
+        gauges: List[Dict[str, Any]] = []
+        for instrument in self._gauges.values():
+            if instrument.name.startswith(prefix):
+                gauges.append({**entry(instrument), "value": instrument.value})
+        histograms: List[Dict[str, Any]] = []
+        for instrument in self._histograms.values():
+            if instrument.name.startswith(prefix):
+                histograms.append(
+                    {
+                        **entry(instrument),
+                        "count": instrument.count,
+                        "sum": instrument.total,
+                        "min": instrument.min,
+                        "max": instrument.max,
+                        "mean": instrument.mean,
+                    }
+                )
+        key = lambda item: (item["name"], sorted(item.get("labels", {}).items()))  # noqa: E731
+        return {
+            "counters": sorted(counters, key=key),
+            "gauges": sorted(gauges, key=key),
+            "histograms": sorted(histograms, key=key),
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (cached references stay valid)."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+        for histogram in self._histograms.values():
+            histogram._zero()
+
+
+#: The process-global registry every instrumented module writes to.
+REGISTRY = Registry()
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: Any) -> Histogram:
+    return REGISTRY.histogram(name, **labels)
+
+
+def snapshot(prefix: str = "") -> Dict[str, Any]:
+    return REGISTRY.snapshot(prefix)
+
+
+def counter_deltas(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Counter increments between two snapshots (zero deltas dropped).
+
+    The profile runner uses this so a one-shot breakdown reports only the
+    work of the profiled run, not whatever the process counted earlier.
+    """
+
+    def keyed(snap: Dict[str, Any]) -> Dict[Tuple[str, LabelKey], int]:
+        return {
+            (
+                item["name"],
+                tuple(sorted(item.get("labels", {}).items())),
+            ): item["value"]
+            for item in snap.get("counters", [])
+        }
+
+    earlier = keyed(before)
+    deltas: List[Dict[str, Any]] = []
+    for key, value in keyed(after).items():
+        delta = value - earlier.get(key, 0)
+        if delta:
+            name, labels = key
+            item: Dict[str, Any] = {"name": name, "value": delta}
+            if labels:
+                item["labels"] = dict(labels)
+            deltas.append(item)
+    deltas.sort(key=lambda item: (item["name"], sorted(item.get("labels", {}).items())))
+    return deltas

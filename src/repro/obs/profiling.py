@@ -1,0 +1,151 @@
+"""The ``repro-bus profile`` engine: replay a workload, break down time.
+
+:func:`run_profile` wraps an arbitrary callable with a memory trace
+sink and a counter snapshot pair, then reduces the captured spans to a
+per-stage wall-time table (outermost-span charging, see
+:func:`repro.obs.manifest.aggregate_stages`) and the counter increments
+the run caused.  Every captured event is validated against the trace
+schema; validation failures surface in :attr:`ProfileResult.schema_errors`
+and turn the CLI exit code nonzero — this is the CI smoke gate that
+keeps the event schema honest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.manifest import aggregate_stages
+from repro.obs.metrics import counter_deltas, snapshot
+from repro.obs.trace import capture, validate_events
+
+#: Stage names reported per workload; anything else lands in "(other)".
+WORKLOAD_STAGES: Dict[str, Tuple[str, ...]] = {
+    "table": ("tracegen", "encode", "count"),
+    "power": ("tracegen", "simulate", "count"),
+    "prove": ("crosscheck", "equivalence", "sequential"),
+}
+
+
+@dataclass
+class StageStat:
+    """One row of the breakdown."""
+
+    name: str
+    wall_s: float
+    spans: int
+
+    def share(self, total_s: float) -> float:
+        return self.wall_s / total_s if total_s else 0.0
+
+
+@dataclass
+class ProfileResult:
+    """Everything ``repro-bus profile`` prints."""
+
+    workload: str
+    params: Dict[str, Any]
+    total_s: float
+    stages: List[StageStat]
+    counters: List[Dict[str, Any]]
+    events: int
+    schema_errors: List[str] = field(default_factory=list)
+
+    @property
+    def staged_s(self) -> float:
+        return sum(stage.wall_s for stage in self.stages)
+
+    @property
+    def other_s(self) -> float:
+        return max(0.0, self.total_s - self.staged_s)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "params": dict(self.params),
+            "total_s": self.total_s,
+            "stages": [
+                {
+                    "name": stage.name,
+                    "wall_s": stage.wall_s,
+                    "share": stage.share(self.total_s),
+                    "spans": stage.spans,
+                }
+                for stage in self.stages
+            ],
+            "other_s": self.other_s,
+            "counters": list(self.counters),
+            "events": self.events,
+            "schema_errors": list(self.schema_errors),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"profile: {self.workload} "
+            + " ".join(f"{k}={v}" for k, v in self.params.items())
+        ]
+        lines.append(f"total: {self.total_s:.3f} s over {self.events} events")
+        width = max(
+            [len("(other)")] + [len(stage.name) for stage in self.stages]
+        )
+        lines.append(f"{'stage'.ljust(width)}   wall (s)   share   spans")
+        for stage in self.stages:
+            lines.append(
+                f"{stage.name.ljust(width)}   {stage.wall_s:8.3f}   "
+                f"{stage.share(self.total_s):5.1%}   {stage.spans:5d}"
+            )
+        lines.append(
+            f"{'(other)'.ljust(width)}   {self.other_s:8.3f}   "
+            f"{(self.other_s / self.total_s if self.total_s else 0.0):5.1%}"
+        )
+        if self.counters:
+            lines.append("counters:")
+            for item in self.counters:
+                labels = item.get("labels")
+                suffix = (
+                    "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels
+                    else ""
+                )
+                lines.append(f"  {item['name']}{suffix} = {item['value']}")
+        if self.schema_errors:
+            lines.append(f"SCHEMA ERRORS ({len(self.schema_errors)}):")
+            lines.extend(f"  {problem}" for problem in self.schema_errors)
+        return "\n".join(lines)
+
+
+def run_profile(
+    workload: str,
+    fn: Callable[[], Any],
+    params: Optional[Dict[str, Any]] = None,
+    stage_names: Optional[Sequence[str]] = None,
+) -> Tuple[Any, ProfileResult]:
+    """Run ``fn`` under tracing and return ``(fn(), breakdown)``."""
+    if stage_names is None:
+        stage_names = WORKLOAD_STAGES.get(workload)
+    before = snapshot()
+    with capture() as sink:
+        started = time.perf_counter()
+        value = fn()
+        total_s = time.perf_counter() - started
+    aggregated = aggregate_stages(sink.events, stage_names)
+    order = list(stage_names) if stage_names else sorted(aggregated)
+    stages = [
+        StageStat(
+            name=name,
+            wall_s=aggregated.get(name, {}).get("wall_s", 0.0),
+            spans=int(aggregated.get(name, {}).get("spans", 0)),
+        )
+        for name in order
+    ]
+    result = ProfileResult(
+        workload=workload,
+        params=dict(params or {}),
+        total_s=total_s,
+        stages=stages,
+        counters=counter_deltas(before, snapshot()),
+        events=len(sink.events),
+        schema_errors=validate_events(sink.events),
+    )
+    return value, result

@@ -1,0 +1,311 @@
+"""Structured tracing: nestable spans emitting JSONL events.
+
+The tracer is **off by default** and compiled down to near-zero cost in
+that state: :func:`span` returns a shared no-op singleton and
+:func:`event` is a single boolean test, so instrumentation can live
+permanently inside pipeline code (stream encoders, table builders, the
+formal engines) without taxing hot loops.  When enabled, every span
+produces two events on the configured sinks:
+
+``span_begin``
+    ``{"v": 1, "ts": ..., "type": "span_begin", "name": ..., "id": n,
+    "parent": m | null, "fields": {...}}``
+``span_end``
+    the same identity plus ``"dur_s"`` (wall seconds) and ``"status"``
+    (``"ok"`` or ``"error"``; errors also carry ``"error": "TypeName"``).
+
+Point events (:func:`event`) use ``"type": "event"`` with the enclosing
+span as ``parent``.  Field values must be JSON scalars; the writer does
+not chase object graphs.  :func:`validate_event` checks one decoded
+event against this schema and is what ``repro-bus profile`` runs over
+every captured event (the CI smoke gate).
+
+Spans nest through a per-thread stack, so tracing is exception-safe by
+construction: ``__exit__`` always pops and always emits the end event,
+recording the exception type without suppressing it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+#: Event schema version; bump on incompatible changes to the dict layout.
+SCHEMA_VERSION = 1
+
+EVENT_TYPES = ("span_begin", "span_end", "event")
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a file path or text stream."""
+
+    def __init__(self, target: Union[str, Path, io.TextIOBase]):
+        if isinstance(target, (str, Path)):
+            self._file: Any = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+
+class MemorySink:
+    """Buffers events in memory — the profile runner and tests use this."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class _State(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[int] = []
+
+
+_state = _State()
+_sinks: List[Any] = []
+_enabled = False
+_next_id = 0
+_id_lock = threading.Lock()
+
+
+def _new_id() -> int:
+    global _next_id
+    with _id_lock:
+        _next_id += 1
+        return _next_id
+
+
+def enabled() -> bool:
+    """True while at least one sink is receiving events."""
+    return _enabled
+
+
+def enable(*sinks: Any) -> None:
+    """Route events to ``sinks`` (objects with ``emit(dict)``/``close()``)."""
+    global _enabled
+    if not sinks:
+        raise ValueError("enable() needs at least one sink")
+    _sinks.extend(sinks)
+    _enabled = True
+
+
+def disable() -> None:
+    """Stop tracing and close every registered sink."""
+    global _enabled
+    _enabled = False
+    for sink in _sinks:
+        sink.close()
+    del _sinks[:]
+    _state.stack = []
+
+
+def _emit(event: Dict[str, Any]) -> None:
+    for sink in _sinks:
+        sink.emit(event)
+
+
+class _NullSpan:
+    """The disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **fields: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; use via ``with span("encode", codec="t0bi"):``."""
+
+    __slots__ = ("name", "fields", "span_id", "parent_id", "_started")
+
+    def __init__(self, name: str, fields: Dict[str, Any]):
+        self.name = name
+        self.fields = fields
+        self.span_id = _new_id()
+        self.parent_id: Optional[int] = None
+        self._started = 0.0
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach extra fields, reported on the ``span_end`` event."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        stack = _state.stack
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._started = time.perf_counter()
+        _emit(
+            {
+                "v": SCHEMA_VERSION,
+                "ts": time.time(),
+                "type": "span_begin",
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "fields": dict(self.fields),
+            }
+        )
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        duration = time.perf_counter() - self._started
+        stack = _state.stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        elif self.span_id in stack:  # pragma: no cover - defensive
+            stack.remove(self.span_id)
+        end: Dict[str, Any] = {
+            "v": SCHEMA_VERSION,
+            "ts": time.time(),
+            "type": "span_end",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "fields": dict(self.fields),
+            "dur_s": duration,
+            "status": "ok" if exc_type is None else "error",
+        }
+        if exc_type is not None:
+            end["error"] = exc_type.__name__
+        _emit(end)
+        return False
+
+
+def span(name: str, **fields: Any) -> Union[Span, _NullSpan]:
+    """A nestable context-manager span; a shared no-op when disabled."""
+    if not _enabled:
+        return NULL_SPAN
+    return Span(name, fields)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Emit a point event inside the current span (no-op when disabled)."""
+    if not _enabled:
+        return
+    stack = _state.stack
+    _emit(
+        {
+            "v": SCHEMA_VERSION,
+            "ts": time.time(),
+            "type": "event",
+            "name": name,
+            "id": _new_id(),
+            "parent": stack[-1] if stack else None,
+            "fields": dict(fields),
+        }
+    )
+
+
+class capture:
+    """Context manager that tees events into a fresh :class:`MemorySink`.
+
+    ``with capture() as sink: ...`` enables tracing for the duration (on
+    top of any sinks already active) and removes the sink afterwards
+    without closing unrelated sinks.
+    """
+
+    def __init__(self) -> None:
+        self.sink = MemorySink()
+
+    def __enter__(self) -> MemorySink:
+        global _enabled
+        _sinks.append(self.sink)
+        _enabled = True
+        return self.sink
+
+    def __exit__(self, *exc: object) -> bool:
+        global _enabled
+        if self.sink in _sinks:
+            _sinks.remove(self.sink)
+        _enabled = bool(_sinks)
+        if not _enabled:
+            _state.stack = []
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+
+def validate_event(event_dict: Any) -> List[str]:
+    """Problems with one decoded event against the schema (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(event_dict, dict):
+        return ["event is not a JSON object"]
+    if event_dict.get("v") != SCHEMA_VERSION:
+        problems.append(f"bad schema version {event_dict.get('v')!r}")
+    kind = event_dict.get("type")
+    if kind not in EVENT_TYPES:
+        problems.append(f"unknown event type {kind!r}")
+    name = event_dict.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"bad name {name!r}")
+    if not isinstance(event_dict.get("ts"), (int, float)):
+        problems.append("missing/non-numeric ts")
+    if not isinstance(event_dict.get("id"), int):
+        problems.append("missing/non-integer id")
+    parent = event_dict.get("parent")
+    if parent is not None and not isinstance(parent, int):
+        problems.append(f"bad parent {parent!r}")
+    fields = event_dict.get("fields")
+    if not isinstance(fields, dict):
+        problems.append("missing fields dict")
+    else:
+        for key, value in fields.items():
+            if not isinstance(value, _SCALARS):
+                problems.append(f"field {key!r} is not a JSON scalar")
+    if kind == "span_end":
+        duration = event_dict.get("dur_s")
+        if not isinstance(duration, (int, float)) or duration < 0:
+            problems.append(f"bad dur_s {duration!r}")
+        if event_dict.get("status") not in ("ok", "error"):
+            problems.append(f"bad status {event_dict.get('status')!r}")
+    return problems
+
+
+def validate_events(events: Sequence[Any]) -> List[str]:
+    """Flattened problems over a whole event stream, indexed per event."""
+    problems: List[str] = []
+    for index, entry in enumerate(events):
+        problems.extend(
+            f"event {index}: {problem}" for problem in validate_event(entry)
+        )
+    return problems
+
+
+def load_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Decode a JSONL trace file event by event."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

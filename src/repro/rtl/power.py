@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.power.bus import DEFAULT_FREQUENCY_HZ, DEFAULT_VDD
 from repro.rtl.gates import DFF, DFF_CLOCK_ENERGY
 from repro.rtl.netlist import Netlist, SimulationResult
@@ -279,6 +280,7 @@ def propagate_activities(
         probs[flop.q] = 0.5
         acts[flop.q] = 0.5
 
+    clamp_hits = 0
     for _ in range(iterations):
         for gate in netlist._gates:
             p, a = _propagate_gate(
@@ -286,7 +288,10 @@ def propagate_activities(
                 [probs[i] for i in gate.inputs],
                 [acts[i] for i in gate.inputs],
             )
-            probs[gate.output], acts[gate.output] = p, _clamp_activity(p, a)
+            clamped = _clamp_activity(p, a)
+            if clamped < a:
+                clamp_hits += 1
+            probs[gate.output], acts[gate.output] = p, clamped
         delta = 0.0
         for flop in netlist._flops:
             new_p, new_a = probs[flop.d], acts[flop.d]  # type: ignore[index]
@@ -304,7 +309,12 @@ def propagate_activities(
             [probs[i] for i in gate.inputs],
             [acts[i] for i in gate.inputs],
         )
-        probs[gate.output], acts[gate.output] = p, _clamp_activity(p, a)
+        clamped = _clamp_activity(p, a)
+        if clamped < a:
+            clamp_hits += 1
+        probs[gate.output], acts[gate.output] = p, clamped
+    if clamp_hits:
+        obs_metrics.counter("activity.clamps").inc(clamp_hits)
     return probs, acts
 
 

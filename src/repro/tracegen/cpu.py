@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.core.base import SEL_DATA, SEL_INSTRUCTION
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.tracegen import layout
 from repro.tracegen.assembler import Program
 from repro.tracegen.isa import Instruction
@@ -118,9 +120,13 @@ class CPU:
     def run(self, max_steps: int = 1_000_000) -> ExecutionResult:
         """Execute until ``halt``, a return to address 0, or ``max_steps``."""
         steps = 0
-        while not self.halted and steps < max_steps:
-            self.step()
-            steps += 1
+        with span("tracegen", kind="cpu") as run_span:
+            while not self.halted and steps < max_steps:
+                self.step()
+                steps += 1
+            run_span.annotate(steps=steps, bus_events=len(self.events))
+        obs_metrics.counter("tracegen.cpu.instructions").inc(steps)
+        obs_metrics.counter("tracegen.cpu.bus_events").inc(len(self.events))
         return ExecutionResult(
             steps=steps,
             halted=self.halted,

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.tracegen.synthetic import (
     DataProfile,
     InstructionProfile,
@@ -101,24 +103,36 @@ def get_profile(name: str) -> BenchmarkProfile:
     raise KeyError(f"unknown benchmark {name!r}; known: {BENCHMARK_NAMES}")
 
 
+def _record_generated(trace: AddressTrace, profile_name: str, kind: str) -> None:
+    obs_metrics.counter(
+        "tracegen.addresses", benchmark=profile_name, kind=kind
+    ).inc(len(trace))
+
+
 def instruction_trace(profile: BenchmarkProfile, length: int = 0) -> AddressTrace:
     """The benchmark's instruction-address stream (Table 2/5 input)."""
-    return synthetic_instruction_stream(
-        length or profile.instruction_length,
-        profile=profile.instruction_profile(),
-        seed=profile.seed,
-        name=f"{profile.name}.instruction",
-    )
+    with span("tracegen", benchmark=profile.name, kind="instruction"):
+        trace = synthetic_instruction_stream(
+            length or profile.instruction_length,
+            profile=profile.instruction_profile(),
+            seed=profile.seed,
+            name=f"{profile.name}.instruction",
+        )
+    _record_generated(trace, profile.name, "instruction")
+    return trace
 
 
 def data_trace(profile: BenchmarkProfile, length: int = 0) -> AddressTrace:
     """The benchmark's data-address stream (Table 3/6 input)."""
-    return synthetic_data_stream(
-        length or profile.data_length,
-        profile=profile.data_profile(),
-        seed=profile.seed,
-        name=f"{profile.name}.data",
-    )
+    with span("tracegen", benchmark=profile.name, kind="data"):
+        trace = synthetic_data_stream(
+            length or profile.data_length,
+            profile=profile.data_profile(),
+            seed=profile.seed,
+            name=f"{profile.name}.data",
+        )
+    _record_generated(trace, profile.name, "data")
+    return trace
 
 
 def multiplexed_trace(profile: BenchmarkProfile, length: int = 0) -> AddressTrace:
@@ -128,21 +142,24 @@ def multiplexed_trace(profile: BenchmarkProfile, length: int = 0) -> AddressTrac
     never runs dry (the splice rate consumes at most ~0.6 data addresses per
     instruction).
     """
-    instruction = instruction_trace(profile, length)
-    data_length = max(1000, int(0.7 * len(instruction)))
-    data = synthetic_data_stream(
-        data_length,
-        profile=profile.mux_data_profile(),
-        seed=profile.seed,
-        name=f"{profile.name}.muxdata",
-    )
-    return multiplex_streams(
-        instruction.addresses,
-        data.addresses,
-        profile=profile.multiplex_profile(),
-        seed=profile.seed,
-        name=f"{profile.name}.multiplexed",
-    )
+    with span("tracegen", benchmark=profile.name, kind="multiplexed"):
+        instruction = instruction_trace(profile, length)
+        data_length = max(1000, int(0.7 * len(instruction)))
+        data = synthetic_data_stream(
+            data_length,
+            profile=profile.mux_data_profile(),
+            seed=profile.seed,
+            name=f"{profile.name}.muxdata",
+        )
+        trace = multiplex_streams(
+            instruction.addresses,
+            data.addresses,
+            profile=profile.multiplex_profile(),
+            seed=profile.seed,
+            name=f"{profile.name}.multiplexed",
+        )
+    _record_generated(trace, profile.name, "multiplexed")
+    return trace
 
 
 def all_traces(kind: str, length: int = 0) -> List[AddressTrace]:

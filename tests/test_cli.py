@@ -34,8 +34,26 @@ class TestCommands:
         assert "paper" in out
 
     def test_table_out_of_range(self, capsys):
-        assert main(["table", "12"]) == 1
+        assert main(["table", "12"]) == 2
+        err = capsys.readouterr().err
+        assert "1-9" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_table_negative_number(self, capsys):
+        assert main(["table", "-3"]) == 2
         assert "1-9" in capsys.readouterr().err
+
+    def test_table_bad_width(self, capsys):
+        assert main(["table", "2", "--width", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--width" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_table_bad_length(self, capsys):
+        assert main(["table", "2", "--length", "-10"]) == 2
+        err = capsys.readouterr().err
+        assert "--length" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_analyze_benchmark(self, capsys):
         assert (
