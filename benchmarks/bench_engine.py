@@ -1,0 +1,75 @@
+"""The batch engine vs the sequential path on Table 2's full workload.
+
+Three regenerations of Table 2 over the calibrated nine-benchmark
+instruction streams — sequential (no engine), engine cold (``--jobs 4``,
+empty cache) and engine warm (same cache, fully populated) — must render
+byte-identically; the warm run must beat the sequential path by at least
+2x (it performs zero encode work: every cell is served from the
+content-addressed cache).  The measured wall times and speedups land in
+``benchmarks/results/engine_speedup.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.engine import BatchEngine
+from repro.experiments import table2
+
+from benchmarks.conftest import publish
+
+
+def _timed(builder):
+    started = time.perf_counter()
+    table = builder()
+    return table.render(), time.perf_counter() - started
+
+
+def test_engine_speedup_table2(results_dir, benchmark, tmp_path):
+    sequential_text, sequential_s = _timed(lambda: table2())
+
+    cache = tmp_path / "cache"
+    cold_text, cold_s = _timed(
+        lambda: table2(engine=BatchEngine(jobs=4, cache_dir=cache))
+    )
+    warm_engine = BatchEngine(jobs=4, cache_dir=cache)
+    warm_text, warm_s = _timed(lambda: table2(engine=warm_engine))
+
+    # Byte-identical output in every configuration.
+    assert cold_text == sequential_text
+    assert warm_text == sequential_text
+    # The warm run served everything from cache: zero encode work.
+    assert warm_engine.stats.hits == warm_engine.stats.cells == 27
+    assert warm_engine.stats.misses == 0
+
+    speedup_warm = sequential_s / warm_s
+    assert speedup_warm >= 2.0, (
+        f"warm engine run only {speedup_warm:.2f}x faster than sequential "
+        f"({warm_s:.3f}s vs {sequential_s:.3f}s)"
+    )
+
+    rows = {
+        "workload": "table2 (nine calibrated instruction streams)",
+        "cells": warm_engine.stats.cells,
+        "jobs": 4,
+        "sequential_s": round(sequential_s, 4),
+        "engine_cold_s": round(cold_s, 4),
+        "engine_warm_s": round(warm_s, 4),
+        "speedup_cold": round(sequential_s / cold_s, 3),
+        "speedup_warm": round(speedup_warm, 3),
+        "byte_identical": True,
+    }
+    publish(
+        results_dir,
+        "engine_speedup",
+        "engine speedup (table 2, jobs=4):\n" + json.dumps(rows, indent=2),
+        rows=rows,
+    )
+
+    # Timed unit: one fully warm engine regeneration of Table 2.
+    def workload():
+        return table2(engine=BatchEngine(jobs=4, cache_dir=cache))
+
+    table = benchmark(workload)
+    assert table.render() == sequential_text

@@ -54,6 +54,21 @@ fi
 
 run_step "repro-bus lint --all" python -m repro lint --all
 run_step "repro-bus prove --fast" python -m repro prove --fast
+
+# The batch engine must render byte-identically to the sequential path.
+engine_smoke() {
+    local workdir
+    workdir="$(mktemp -d)" || return 1
+    python -m repro table 2 --length 400 > "$workdir/seq.txt" \
+        && python -m repro tables 2 --length 400 --jobs 2 \
+            --cache "$workdir/cache" > "$workdir/engine.txt" 2>/dev/null \
+        && diff "$workdir/seq.txt" "$workdir/engine.txt"
+    local status=$?
+    rm -rf "$workdir"
+    return $status
+}
+run_step "engine smoke (tables 2 --jobs 2)" engine_smoke
+
 run_step "pytest (tier 1)" python -m pytest -x -q tests
 
 echo

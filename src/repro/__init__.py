@@ -32,12 +32,14 @@ from repro.core import (
     BusDecoder,
     BusEncoder,
     Codec,
+    CodecState,
     EncodedWord,
     available_codecs,
     decode_stream,
     encode_stream,
     make_codec,
     roundtrip_stream,
+    verify_roundtrip,
 )
 from repro.metrics import (
     TransitionReport,
@@ -54,6 +56,7 @@ __all__ = [
     "BusEncoder",
     "BusPowerModel",
     "Codec",
+    "CodecState",
     "EncodedWord",
     "TransitionReport",
     "available_codecs",
@@ -66,5 +69,6 @@ __all__ = [
     "make_codec",
     "roundtrip_stream",
     "stream_statistics",
+    "verify_roundtrip",
     "__version__",
 ]

@@ -70,9 +70,34 @@ def _usage_error(command: str, message: str) -> int:
     return 2
 
 
-def _cmd_table(args: argparse.Namespace) -> int:
+def _print_table(
+    number: int, length: int, width: int, engine: Optional[Any] = None
+) -> None:
+    """Print one paper table — the shared body of ``table`` and ``tables``.
+
+    The output is identical with and without an engine; that equivalence
+    is what lets ``tables --jobs N`` be diffed byte-for-byte against the
+    sequential ``table N`` (the CI smoke gate does exactly this).
+    """
     from repro import experiments
 
+    if number == 1:
+        print(experiments.table1_text(width=width))
+        return
+    if 2 <= number <= 7:
+        table = experiments.TABLE_BUILDERS[number](length, engine=engine)
+        print(table.render())
+        print()
+        print(experiments.compare_with_paper(number, table))
+        return
+    runs = experiments.simulate_codecs(length=length or 1500, engine=engine)
+    if number == 8:
+        print(experiments.render_table8(experiments.table8(runs)))
+    else:
+        print(experiments.render_table9(experiments.table9(runs)))
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
     number = args.number
     if not 1 <= number <= 9:
         return _usage_error(
@@ -86,20 +111,42 @@ def _cmd_table(args: argparse.Namespace) -> int:
         return _usage_error(
             "table", f"--length must be non-negative, got {args.length}"
         )
-    if number == 1:
-        print(experiments.table1_text(width=args.width))
-        return 0
-    if 2 <= number <= 7:
-        table = experiments.TABLE_BUILDERS[number](args.length)
-        print(table.render())
-        print()
-        print(experiments.compare_with_paper(number, table))
-        return 0
-    runs = experiments.simulate_codecs(length=args.length or 1500)
-    if number == 8:
-        print(experiments.render_table8(experiments.table8(runs)))
-    else:
-        print(experiments.render_table9(experiments.table9(runs)))
+    _print_table(number, args.length, args.width)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.engine import BatchEngine
+
+    numbers = args.numbers or list(range(2, 8))
+    bad = [n for n in numbers if not 1 <= n <= 9]
+    if bad:
+        return _usage_error(
+            "tables",
+            f"no such table(s): {', '.join(map(str, bad))} "
+            "(paper tables are 1-9)",
+        )
+    if args.jobs <= 0:
+        return _usage_error("tables", f"--jobs must be positive, got {args.jobs}")
+    if args.length < 0:
+        return _usage_error(
+            "tables", f"--length must be non-negative, got {args.length}"
+        )
+    if args.chunk_size <= 0:
+        return _usage_error(
+            "tables", f"--chunk-size must be positive, got {args.chunk_size}"
+        )
+    engine = BatchEngine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache,
+        chunk_size=args.chunk_size,
+        refresh=args.refresh,
+    )
+    for position, number in enumerate(numbers):
+        if position:
+            print()
+        _print_table(number, args.length, args.width, engine=engine)
+    print(f"engine: {engine.stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -580,6 +627,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("--length", type=int, default=0, help="stream length override")
     p_table.add_argument("--width", type=int, default=32)
     p_table.set_defaults(func=_cmd_table)
+
+    p_tables = add_command(
+        "tables",
+        help="regenerate paper tables through the batch engine",
+        description=(
+            "Regenerate one or more paper tables via repro.engine: the "
+            "(trace, codec, metric) cells fan out over a worker pool "
+            "(--jobs) and memoize in a content-addressed cache (--cache), "
+            "so a warm rerun performs zero encode work.  Output is "
+            "byte-identical to running `table N` for each number; engine "
+            "statistics go to stderr.  See docs/engine.md."
+        ),
+    )
+    p_tables.add_argument(
+        "numbers",
+        type=int,
+        nargs="*",
+        help="paper tables to regenerate (default: 2-7)",
+    )
+    p_tables.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cell execution (default 1: in-process)",
+    )
+    p_tables.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=".repro-cache",
+        help="result cache directory (default .repro-cache)",
+    )
+    p_tables.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
+    )
+    p_tables.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every cell and overwrite its cache entry",
+    )
+    p_tables.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        help="addresses per steppable-API chunk inside each worker",
+    )
+    p_tables.add_argument(
+        "--length", type=int, default=0, help="stream length override"
+    )
+    p_tables.add_argument("--width", type=int, default=32)
+    p_tables.set_defaults(func=_cmd_tables)
 
     p_analyze = add_command("analyze", help="compare codes on a stream")
     p_analyze.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")

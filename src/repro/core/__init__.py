@@ -10,10 +10,13 @@ from repro.core.base import (
     BusDecoder,
     BusEncoder,
     Codec,
+    CodecState,
     RoundTripError,
+    SteppableStateMixin,
     decode_stream,
     encode_stream,
     roundtrip_stream,
+    verify_roundtrip,
 )
 from repro.core.beach import BeachCode, BeachDecoder, BeachEncoder, train_beach_code
 from repro.core.binary import BinaryDecoder, BinaryEncoder
@@ -57,6 +60,8 @@ __all__ = [
     "BusInvertDecoder",
     "BusInvertEncoder",
     "Codec",
+    "CodecState",
+    "SteppableStateMixin",
     "DualT0BIDecoder",
     "DualT0BIEncoder",
     "DualT0Decoder",
@@ -92,4 +97,5 @@ __all__ = [
     "register_codec",
     "roundtrip_stream",
     "train_beach_code",
+    "verify_roundtrip",
 ]

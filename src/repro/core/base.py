@@ -1,11 +1,27 @@
-"""Encoder/decoder base classes and stream helpers.
+"""Encoder/decoder base classes, the steppable state contract and stream
+helpers.
 
 The paper's codes are *stateful*: both ends of the bus keep small registers
 (the previous address, the previous encoded word) and must stay in lock-step.
-:class:`BusEncoder` and :class:`BusDecoder` capture that contract:
+Two equivalent views of that contract live here:
 
-* ``reset()`` returns the codec to its power-up state;
-* ``encode(address, sel)`` / ``decode(word, sel)`` advance one clock cycle.
+* the classic mutable one — ``reset()`` returns the codec to its power-up
+  state, ``encode(address, sel)`` / ``decode(word, sel)`` advance one clock
+  cycle in place;
+* the pure-functional *steppable* one — :meth:`BusEncoder.initial_state`
+  yields an immutable :class:`CodecState` snapshot and
+  ``step(state, address, sel) -> (state', word)`` (mirrored by
+  :meth:`BusDecoder.step`) advances one cycle without touching any
+  pre-existing state object.
+
+The steppable view is what lets the batch engine (:mod:`repro.engine`) cut a
+stream into chunks, checkpoint the codec registers at a chunk boundary and
+resume the stream in a different worker process: a :class:`CodecState` is
+hashable, picklable and can be restored into a *fresh* encoder/decoder
+instance.  It is implemented once here — the generic snapshot/restore
+machinery freezes an instance's registers into an immutable tree — and every
+concrete codec inherits it; :class:`BusEncoder`/:class:`BusDecoder` remain
+the thin mutable adapters over it that the per-address hot loops use.
 
 ``sel`` is the instruction/data select signal of a multiplexed address bus
 (``1`` = instruction slot, ``0`` = data slot).  It is *already present* on a
@@ -17,8 +33,9 @@ simply do not read it.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.word import EncodedWord, mask
 from repro.obs import metrics as obs_metrics
@@ -30,7 +47,147 @@ SEL_INSTRUCTION = 1
 SEL_DATA = 0
 
 
-class BusEncoder(abc.ABC):
+# ---------------------------------------------------------------------------
+# Steppable state: immutable codec-register snapshots
+# ---------------------------------------------------------------------------
+
+_STATE_SCALARS = (str, int, float, bool, bytes, type(None))
+
+
+def _freeze(value: Any) -> Any:
+    """Convert a codec-register value into an immutable, hashable form.
+
+    The output is either a scalar or a tagged tuple, so the two never
+    collide and :func:`_thaw` can invert the mapping exactly.
+    """
+    if isinstance(value, _STATE_SCALARS):
+        return value
+    if isinstance(value, tuple):
+        return ("tuple", tuple(_freeze(item) for item in value))
+    if isinstance(value, list):
+        return ("list", tuple(_freeze(item) for item in value))
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple((key, _freeze(item)) for key, item in sorted(value.items())),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(_freeze(item) for item in value)))
+    if hasattr(value, "__dict__"):
+        return (
+            "object",
+            type(value),
+            tuple(
+                (key, _freeze(item))
+                for key, item in sorted(vars(value).items())
+            ),
+        )
+    raise TypeError(
+        f"cannot snapshot codec state value of type {type(value).__name__}"
+    )
+
+
+def _thaw(value: Any) -> Any:
+    """Rebuild the live value a :func:`_freeze` output came from."""
+    if not isinstance(value, tuple):
+        return value
+    tag = value[0]
+    if tag == "tuple":
+        return tuple(_thaw(item) for item in value[1])
+    if tag == "list":
+        return [_thaw(item) for item in value[1]]
+    if tag == "dict":
+        return {key: _thaw(item) for key, item in value[1]}
+    if tag == "set":
+        return {_thaw(item) for item in value[1]}
+    if tag == "object":
+        _, cls, items = value
+        instance = object.__new__(cls)
+        for key, item in items:
+            object.__setattr__(instance, key, _thaw(item))
+        return instance
+    raise ValueError(f"malformed frozen state tag {tag!r}")
+
+
+@dataclass(frozen=True)
+class CodecState:
+    """An immutable snapshot of one codec end's registers.
+
+    Produced by :meth:`BusEncoder.initial_state` /
+    :meth:`BusEncoder.snapshot_state` (and the decoder mirrors), consumed
+    by ``step``/``step_stream``/``restore_state``.  States are hashable,
+    comparable and picklable, so they can cross process boundaries — the
+    property the batch engine's chunk handoff relies on.
+
+    ``owner`` records the producing class's qualified name; restoring a
+    state into a different codec class is rejected rather than silently
+    corrupting registers.
+    """
+
+    owner: str
+    payload: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CodecState({self.owner})"
+
+
+class SteppableStateMixin:
+    """Generic snapshot/restore over an instance's register attributes.
+
+    Implemented once; both :class:`BusEncoder` and :class:`BusDecoder`
+    inherit it.  The snapshot covers *every* instance attribute
+    (configuration included — configuration is immutable, so restoring it
+    is harmless), which keeps concrete codecs free of any per-class state
+    declarations.
+    """
+
+    def snapshot_state(self) -> CodecState:
+        """Freeze the current registers into an immutable state."""
+        return CodecState(
+            owner=type(self).__qualname__,
+            payload=tuple(
+                (key, _freeze(item)) for key, item in sorted(vars(self).items())
+            ),
+        )
+
+    def restore_state(self, state: CodecState) -> None:
+        """Load a snapshot back into this instance (any instance of the
+        producing class, not just the one that took the snapshot)."""
+        if state.owner != type(self).__qualname__:
+            raise ValueError(
+                f"cannot restore {state.owner} state into "
+                f"{type(self).__qualname__}"
+            )
+        self.__dict__.clear()
+        for key, item in state.payload:
+            self.__dict__[key] = _thaw(item)
+
+    def initial_state(self) -> CodecState:
+        """The power-up state (the state ``reset()`` establishes)."""
+        self.reset()  # type: ignore[attr-defined]
+        return self.snapshot_state()
+
+
+def _paired_streams(
+    first: Iterable[Any], second: Iterable[Any], first_name: str, second_name: str
+) -> Tuple[List[Any], List[Any]]:
+    """Materialize two parallel streams, rejecting length mismatches.
+
+    ``zip`` would silently truncate to the shorter stream — a lost bus
+    cycle that corrupts every downstream transition count — so mismatched
+    lengths are an error, reported with both lengths.
+    """
+    first_list = list(first)
+    second_list = list(second)
+    if len(first_list) != len(second_list):
+        raise ValueError(
+            f"{first_name} length {len(first_list)} != "
+            f"{second_name} length {len(second_list)}"
+        )
+    return first_list, second_list
+
+
+class BusEncoder(SteppableStateMixin, abc.ABC):
     """Transforms an address stream into an encoded bus-word stream.
 
     Parameters
@@ -56,6 +213,47 @@ class BusEncoder(abc.ABC):
     def encode(self, address: int, sel: int = SEL_INSTRUCTION) -> EncodedWord:
         """Encode one address; advances the encoder by one clock cycle."""
 
+    def step(
+        self, state: CodecState, address: int, sel: int = SEL_INSTRUCTION
+    ) -> Tuple[CodecState, EncodedWord]:
+        """Pure-functional single-cycle advance: ``state -> (state', word)``.
+
+        ``state`` is not mutated; the instance's own registers are
+        overwritten (it acts as scratch space), so interleaving ``step``
+        with direct ``encode`` calls on the same instance is not
+        meaningful.
+        """
+        self.restore_state(state)
+        word = self.encode(address, sel)
+        return self.snapshot_state(), word
+
+    def step_stream(
+        self,
+        state: CodecState,
+        addresses: Sequence[int],
+        sels: Optional[Sequence[int]] = None,
+    ) -> Tuple[CodecState, List[EncodedWord]]:
+        """Encode a chunk starting from ``state``; returns the state after
+        the chunk's last cycle.
+
+        This is the engine's chunk primitive: snapshotting once per chunk
+        rather than once per address keeps the pure API's overhead off the
+        hot loop.
+        """
+        if sels is not None:
+            addresses, sels = _paired_streams(
+                addresses, sels, "addresses", "sels"
+            )
+        self.restore_state(state)
+        if sels is None:
+            words = [self.encode(address) for address in addresses]
+        else:
+            words = [
+                self.encode(address, sel)
+                for address, sel in zip(addresses, sels)
+            ]
+        return self.snapshot_state(), words
+
     def encode_stream(
         self, addresses: Iterable[int], sels: Optional[Iterable[int]] = None
     ) -> List[EncodedWord]:
@@ -63,6 +261,7 @@ class BusEncoder(abc.ABC):
         self.reset()
         if sels is None:
             return [self.encode(address) for address in addresses]
+        addresses, sels = _paired_streams(addresses, sels, "addresses", "sels")
         return [
             self.encode(address, sel) for address, sel in zip(addresses, sels)
         ]
@@ -77,7 +276,7 @@ class BusEncoder(abc.ABC):
         return address
 
 
-class BusDecoder(abc.ABC):
+class BusDecoder(SteppableStateMixin, abc.ABC):
     """Recovers the address stream from the encoded bus-word stream."""
 
     def __init__(self, width: int):
@@ -94,6 +293,30 @@ class BusDecoder(abc.ABC):
     def decode(self, word: EncodedWord, sel: int = SEL_INSTRUCTION) -> int:
         """Decode one bus word; advances the decoder by one clock cycle."""
 
+    def step(
+        self, state: CodecState, word: EncodedWord, sel: int = SEL_INSTRUCTION
+    ) -> Tuple[CodecState, int]:
+        """Pure-functional single-cycle advance: ``state -> (state', address)``."""
+        self.restore_state(state)
+        address = self.decode(word, sel)
+        return self.snapshot_state(), address
+
+    def step_stream(
+        self,
+        state: CodecState,
+        words: Sequence[EncodedWord],
+        sels: Optional[Sequence[int]] = None,
+    ) -> Tuple[CodecState, List[int]]:
+        """Decode a chunk starting from ``state`` (see the encoder mirror)."""
+        if sels is not None:
+            words, sels = _paired_streams(words, sels, "words", "sels")
+        self.restore_state(state)
+        if sels is None:
+            decoded = [self.decode(word) for word in words]
+        else:
+            decoded = [self.decode(word, sel) for word, sel in zip(words, sels)]
+        return self.snapshot_state(), decoded
+
     def decode_stream(
         self, words: Iterable[EncodedWord], sels: Optional[Iterable[int]] = None
     ) -> List[int]:
@@ -101,6 +324,7 @@ class BusDecoder(abc.ABC):
         self.reset()
         if sels is None:
             return [self.decode(word) for word in words]
+        words, sels = _paired_streams(words, sels, "words", "sels")
         return [self.decode(word, sel) for word, sel in zip(words, sels)]
 
 
@@ -117,6 +341,10 @@ class Codec:
     encoder_factory: Callable[[], BusEncoder]
     decoder_factory: Callable[[], BusDecoder]
     params: Dict[str, object] = field(default_factory=dict)
+    encoder_cls: Optional[type] = None
+    _extra_lines_cache: Optional[Tuple[str, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def make_encoder(self) -> BusEncoder:
         return self.encoder_factory()
@@ -126,8 +354,31 @@ class Codec:
 
     @property
     def extra_lines(self) -> Tuple[str, ...]:
-        """Redundant line names added by this code (empty for irredundant codes)."""
-        return self.make_encoder().extra_lines
+        """Redundant line names added by this code (empty for irredundant codes).
+
+        Read from the encoder *class* attribute when the class declares one;
+        codes whose redundant-line count depends on construction parameters
+        (e.g. partitioned bus-invert) set ``extra_lines`` per instance, so
+        for those one encoder is built once and the answer cached — not
+        rebuilt on every property access.
+        """
+        if self._extra_lines_cache is not None:
+            return self._extra_lines_cache
+        lines: Optional[Tuple[str, ...]] = None
+        if self.encoder_cls is not None:
+            for klass in type.mro(self.encoder_cls):
+                if klass is BusEncoder:
+                    # The base default () would shadow per-instance
+                    # extra_lines (partitioned bus-invert); probe instead.
+                    break
+                declared = klass.__dict__.get("extra_lines")
+                if isinstance(declared, tuple):
+                    lines = declared
+                    break
+        if lines is None:
+            lines = tuple(self.make_encoder().extra_lines)
+        self._extra_lines_cache = lines
+        return lines
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         extras = ", ".join(f"{k}={v}" for k, v in self.params.items())
@@ -158,7 +409,7 @@ def decode_stream(
     return decoded
 
 
-def roundtrip_stream(
+def verify_roundtrip(
     codec: Codec,
     addresses: Sequence[int],
     sels: Optional[Sequence[int]] = None,
@@ -175,6 +426,21 @@ def roundtrip_stream(
         if expected != actual:
             raise RoundTripError(codec.name, index, expected, actual)
     return words
+
+
+def roundtrip_stream(
+    codec: Codec,
+    addresses: Sequence[int],
+    sels: Optional[Sequence[int]] = None,
+) -> List[EncodedWord]:
+    """Deprecated alias of :func:`verify_roundtrip` (renamed in the steppable
+    API redesign — see ``docs/engine.md`` for the migration note)."""
+    warnings.warn(
+        "roundtrip_stream() is deprecated; use verify_roundtrip()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return verify_roundtrip(codec, addresses, sels)
 
 
 class RoundTripError(AssertionError):

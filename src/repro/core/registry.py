@@ -84,6 +84,7 @@ def _binary(width: int) -> Codec:
         width=width,
         encoder_factory=lambda: BinaryEncoder(width),
         decoder_factory=lambda: BinaryDecoder(width),
+        encoder_cls=BinaryEncoder,
     )
 
 
@@ -94,6 +95,7 @@ def _gray(width: int, stride: int = 1) -> Codec:
         width=width,
         encoder_factory=lambda: GrayEncoder(width, stride),
         decoder_factory=lambda: GrayDecoder(width, stride),
+        encoder_cls=GrayEncoder,
         params={"stride": stride},
     )
 
@@ -105,6 +107,7 @@ def _bus_invert(width: int) -> Codec:
         width=width,
         encoder_factory=lambda: BusInvertEncoder(width),
         decoder_factory=lambda: BusInvertDecoder(width),
+        encoder_cls=BusInvertEncoder,
     )
 
 
@@ -115,6 +118,7 @@ def _t0(width: int, stride: int = 4) -> Codec:
         width=width,
         encoder_factory=lambda: T0Encoder(width, stride),
         decoder_factory=lambda: T0Decoder(width, stride),
+        encoder_cls=T0Encoder,
         params={"stride": stride},
     )
 
@@ -126,6 +130,7 @@ def _t0bi(width: int, stride: int = 4) -> Codec:
         width=width,
         encoder_factory=lambda: T0BIEncoder(width, stride),
         decoder_factory=lambda: T0BIDecoder(width, stride),
+        encoder_cls=T0BIEncoder,
         params={"stride": stride},
     )
 
@@ -137,6 +142,7 @@ def _dualt0(width: int, stride: int = 4) -> Codec:
         width=width,
         encoder_factory=lambda: DualT0Encoder(width, stride),
         decoder_factory=lambda: DualT0Decoder(width, stride),
+        encoder_cls=DualT0Encoder,
         params={"stride": stride},
     )
 
@@ -148,6 +154,7 @@ def _dualt0bi(width: int, stride: int = 4) -> Codec:
         width=width,
         encoder_factory=lambda: DualT0BIEncoder(width, stride),
         decoder_factory=lambda: DualT0BIDecoder(width, stride),
+        encoder_cls=DualT0BIEncoder,
         params={"stride": stride},
     )
 
@@ -159,6 +166,7 @@ def _mtf(width: int, offset_bits: int = 12, sectors: int = 8) -> Codec:
         width=width,
         encoder_factory=lambda: MtfEncoder(width, offset_bits, sectors),
         decoder_factory=lambda: MtfDecoder(width, offset_bits, sectors),
+        encoder_cls=MtfEncoder,
         params={"offset_bits": offset_bits, "sectors": sectors},
     )
 
@@ -170,6 +178,7 @@ def _partitioned_bus_invert(width: int, partitions: int = 4) -> Codec:
         width=width,
         encoder_factory=lambda: PartitionedBusInvertEncoder(width, partitions),
         decoder_factory=lambda: PartitionedBusInvertDecoder(width, partitions),
+        encoder_cls=PartitionedBusInvertEncoder,
         params={"partitions": partitions},
     )
 
@@ -181,6 +190,7 @@ def _offset(width: int) -> Codec:
         width=width,
         encoder_factory=lambda: OffsetEncoder(width),
         decoder_factory=lambda: OffsetDecoder(width),
+        encoder_cls=OffsetEncoder,
     )
 
 
@@ -191,6 +201,7 @@ def _inc_xor(width: int, stride: int = 4) -> Codec:
         width=width,
         encoder_factory=lambda: IncXorEncoder(width, stride),
         decoder_factory=lambda: IncXorDecoder(width, stride),
+        encoder_cls=IncXorEncoder,
         params={"stride": stride},
     )
 
@@ -202,6 +213,7 @@ def _wze(width: int, zones: int = 4, stride: int = 4) -> Codec:
         width=width,
         encoder_factory=lambda: WorkingZoneEncoder(width, zones, stride),
         decoder_factory=lambda: WorkingZoneDecoder(width, zones, stride),
+        encoder_cls=WorkingZoneEncoder,
         params={"zones": zones, "stride": stride},
     )
 
@@ -225,5 +237,6 @@ def _beach(
         width=width,
         encoder_factory=lambda: BeachEncoder(width, code),
         decoder_factory=lambda: BeachDecoder(width, code),
+        encoder_cls=BeachEncoder,
         params={"cluster_size": cluster_size, "seed": seed},
     )

@@ -1,0 +1,43 @@
+"""Batch execution engine: (trace, codec, metric) cells, a multiprocessing
+worker pool, and an on-disk content-addressed result cache.
+
+See ``docs/engine.md`` for the job model, the cache-key anatomy and the
+chunk-state handoff that the steppable codec API enables.
+"""
+
+from repro.engine.cache import ResultCache, cell_key, code_version
+from repro.engine.cells import (
+    DEFAULT_CHUNK_SIZE,
+    METRIC_BINARY,
+    METRIC_CODEC,
+    METRIC_POWER,
+    Cell,
+    chunked_encode,
+    comparison_cells,
+    compute_cell,
+    make_cell,
+    report_from_payload,
+    report_to_payload,
+    row_from_results,
+)
+from repro.engine.runner import BatchEngine, EngineStats
+
+__all__ = [
+    "BatchEngine",
+    "Cell",
+    "DEFAULT_CHUNK_SIZE",
+    "EngineStats",
+    "METRIC_BINARY",
+    "METRIC_CODEC",
+    "METRIC_POWER",
+    "ResultCache",
+    "cell_key",
+    "chunked_encode",
+    "code_version",
+    "comparison_cells",
+    "compute_cell",
+    "make_cell",
+    "report_from_payload",
+    "report_to_payload",
+    "row_from_results",
+]

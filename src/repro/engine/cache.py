@@ -1,0 +1,156 @@
+"""Content-addressed on-disk result cache for engine cells.
+
+The cache key of a cell is a SHA-256 over
+
+* a canonical JSON header: metric, codec name, bus width, codec
+  parameters, in-sequence stride and the **code-version tag**;
+* the raw address array bytes (little-endian uint64);
+* the raw sel array bytes (or an explicit ``none`` marker).
+
+The code-version tag is itself a SHA-256 over the *source files* that
+determine the cell's result: the codec's defining module plus the shared
+core/metrics machinery (and the gate-level RTL stack for power cells).
+Editing one codec therefore invalidates exactly that codec's cells; the
+shared files invalidate everything, which is the conservative and correct
+behaviour for a result cache.
+
+Entries are sharded two hex characters deep (``ab/abcdef….json``) and
+written atomically (temp file + ``os.replace``), so a cache directory can
+be shared between concurrent runs; a corrupt or truncated entry reads as
+a miss, never as an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.base import Codec
+from repro.engine.cells import METRIC_POWER, Cell
+
+#: Source modules shared by every cell metric: the word/codec framework
+#: and the transition counters.
+_COMMON_MODULES = (
+    "repro.core.base",
+    "repro.core.word",
+    "repro.metrics.transitions",
+    "repro.metrics.fast",
+)
+
+#: Additional modules whose source determines a power cell's result.
+_POWER_MODULES = (
+    "repro.rtl.codecs",
+    "repro.rtl.netlist",
+    "repro.rtl.power",
+)
+
+
+@lru_cache(maxsize=None)
+def _file_digest(path: str) -> str:
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+@lru_cache(maxsize=None)
+def _module_digest(module_name: str) -> str:
+    __import__(module_name)
+    module = sys.modules[module_name]
+    source = getattr(module, "__file__", None)
+    if not source:  # pragma: no cover - frozen/namespace modules
+        return f"no-source:{module_name}"
+    return _file_digest(source)
+
+
+def code_version(
+    metric: str, codec: Optional[Codec] = None
+) -> str:
+    """The code-version tag for one cell's metric/codec combination."""
+    modules = list(_COMMON_MODULES)
+    if metric == METRIC_POWER:
+        modules.extend(_POWER_MODULES)
+    elif codec is not None and codec.encoder_cls is not None:
+        modules.append(codec.encoder_cls.__module__)
+    digest = hashlib.sha256()
+    for name in sorted(set(modules)):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(_module_digest(name).encode("ascii"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cell_key(cell: Cell, version: str) -> str:
+    """Content address of one cell (see the module docstring)."""
+    header = json.dumps(
+        {
+            "metric": cell.metric,
+            "codec": cell.codec_name,
+            "width": cell.width,
+            "params": {key: value for key, value in cell.params},
+            "stride": cell.stride,
+            "code_version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    digest = hashlib.sha256(header)
+    digest.update(b"\0addresses\0")
+    digest.update(np.asarray(cell.addresses, dtype="<u8").tobytes())
+    digest.update(b"\0sels\0")
+    if cell.sels is None:
+        digest.update(b"none")
+    else:
+        digest.update(np.asarray(cell.sels, dtype="<u8").tobytes())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Directory-backed key → JSON payload store."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload, or None on miss (corrupt entries miss too)."""
+        try:
+            raw = self._path(key).read_text(encoding="utf-8")
+            entry = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store atomically; concurrent writers of the same key are safe."""
+        target = self._path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps({"key": key, "payload": payload}, sort_keys=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=target.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                tmp.write(body)
+            os.replace(tmp_name, target)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

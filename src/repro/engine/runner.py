@@ -1,0 +1,264 @@
+"""The batch engine: cache probe, worker fan-out, deterministic merge.
+
+:meth:`BatchEngine.run` takes a list of :class:`~repro.engine.cells.Cell`
+jobs and returns their payloads *in submission order* — results are merged
+by cell index, never by completion order, so the output is deterministic
+under any worker scheduling.  Per cell the engine:
+
+1. probes the result cache (parent-side; hits never reach a worker);
+2. fans the misses out over a ``multiprocessing`` pool (``jobs > 1``) or
+   computes them in-process (``jobs == 1``), rebuilding each codec inside
+   the worker from ``(name, width, params)`` — codecs that cannot be
+   rebuilt that way (the trained beach code) run in the parent and are
+   not cached, since their params do not determine their behaviour;
+3. replays each worker's captured trace spans into the parent's sinks
+   (with fresh ids — see :func:`repro.obs.trace.replay_events`), writes
+   the new payloads back to the cache, and updates the
+   ``engine.cache.hits`` / ``engine.cache.misses`` / ``engine.cells`` /
+   ``core.encoded_words`` counters that run manifests snapshot.
+
+A warm rerun of an unchanged workload therefore performs **zero** codec
+encode work: every cell is served in step 1, no encode span is emitted
+and ``core.encoded_words`` stays untouched — the property the CI smoke
+run asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.base import Codec
+from repro.engine.cache import ResultCache, cell_key, code_version
+from repro.engine.cells import (
+    DEFAULT_CHUNK_SIZE,
+    METRIC_BINARY,
+    METRIC_POWER,
+    Cell,
+    compute_cell,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    capture as obs_capture,
+    detach_sinks,
+    enabled as obs_enabled,
+    replay_events,
+    span as obs_span,
+)
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters over one engine's lifetime."""
+
+    jobs: int = 1
+    cells: int = 0
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+    worker_wall_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.cells} cells: {self.hits} cached, "
+            f"{self.misses} computed, {self.uncacheable} uncacheable "
+            f"({self.worker_wall_s:.2f}s worker wall, jobs={self.jobs})"
+        )
+
+
+def _worker_init() -> None:
+    # The forked child inherits the parent's trace sinks (shared file
+    # descriptors) — drop them without closing; spans are captured per
+    # task and replayed by the parent instead.
+    detach_sinks()
+
+
+def _run_cell(
+    task: Tuple[int, Cell, int, bool],
+) -> Tuple[int, Dict[str, Any], float, List[Dict[str, Any]]]:
+    """Worker entry point: compute one cell, capturing its trace spans."""
+    index, cell, chunk_size, traced = task
+    started = time.perf_counter()
+    if traced:
+        with obs_capture() as sink:
+            payload = compute_cell(cell, chunk_size=chunk_size)
+        events = sink.events
+    else:
+        payload = compute_cell(cell, chunk_size=chunk_size)
+        events = []
+    return index, payload, time.perf_counter() - started, events
+
+
+class BatchEngine:
+    """Executes cell batches with memoization and optional parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` computes in-process (no fork).
+    cache_dir:
+        Result cache directory, or None to disable caching.
+    chunk_size:
+        Addresses per steppable-API chunk inside each worker.
+    refresh:
+        Recompute every cell and overwrite its cache entry (the
+        ``--refresh`` CLI flag).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, "object"]] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        refresh: bool = False,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = (
+            cache_dir
+            if isinstance(cache_dir, ResultCache)
+            else ResultCache(cache_dir)
+            if cache_dir is not None
+            else None
+        )
+        self.chunk_size = chunk_size
+        self.refresh = refresh
+        self.stats = EngineStats(jobs=self.jobs)
+        self._rebuild_probe: Dict[Tuple[Any, ...], bool] = {}
+
+    # -- codec rebuildability ------------------------------------------
+
+    def _rebuildable(self, cell: Cell) -> bool:
+        """Can a worker reconstruct this cell's codec from its fields?"""
+        if cell.metric == METRIC_BINARY:
+            return True
+        spec = (cell.metric, cell.codec_name, cell.width, cell.params)
+        cached = self._rebuild_probe.get(spec)
+        if cached is None:
+            try:
+                if cell.metric == METRIC_POWER:
+                    from repro.rtl.codecs import ENCODER_BUILDERS
+
+                    cached = cell.codec_name in ENCODER_BUILDERS
+                else:
+                    from repro.core.registry import make_codec
+
+                    make_codec(
+                        cell.codec_name, cell.width, **dict(cell.params)
+                    )
+                    cached = True
+            except Exception:
+                cached = False
+            self._rebuild_probe[spec] = cached
+        return cached
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        codecs: Optional[Dict[str, Codec]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Execute a batch; returns payloads in submission order.
+
+        ``codecs`` maps codec name → live :class:`Codec` and is required
+        only for codecs a worker cannot rebuild by name (trained codes).
+        """
+        codecs = codecs or {}
+        results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+        pool_tasks: List[Tuple[int, Cell, int, bool]] = []
+        inline: List[Tuple[int, Cell, bool]] = []  # (index, cell, cacheable)
+        keys: Dict[int, str] = {}
+        traced = obs_enabled()
+
+        with obs_span("engine", cells=len(cells), jobs=self.jobs):
+            for index, cell in enumerate(cells):
+                self.stats.cells += 1
+                obs_metrics.counter("engine.cells", metric=cell.metric).inc()
+                rebuildable = self._rebuildable(cell)
+                cacheable = self.cache is not None and rebuildable
+                if cacheable:
+                    version = code_version(
+                        cell.metric, codecs.get(cell.codec_name)
+                    )
+                    keys[index] = cell_key(cell, version)
+                    if not self.refresh:
+                        hit = self.cache.get(keys[index])
+                        if hit is not None:
+                            results[index] = hit
+                            self.stats.hits += 1
+                            obs_metrics.counter(
+                                "engine.cache.hits", metric=cell.metric
+                            ).inc()
+                            continue
+                    obs_metrics.counter(
+                        "engine.cache.misses", metric=cell.metric
+                    ).inc()
+                elif self.cache is not None:
+                    self.stats.uncacheable += 1
+                    obs_metrics.counter(
+                        "engine.cache.uncacheable", metric=cell.metric
+                    ).inc()
+                self.stats.misses += 1
+                if rebuildable:
+                    pool_tasks.append((index, cell, self.chunk_size, traced))
+                else:
+                    inline.append((index, cell, False))
+
+            outcomes: List[
+                Tuple[int, Dict[str, Any], float, List[Dict[str, Any]]]
+            ] = []
+            if pool_tasks and self.jobs > 1:
+                context = multiprocessing.get_context()
+                with context.Pool(
+                    processes=min(self.jobs, len(pool_tasks)),
+                    initializer=_worker_init,
+                ) as pool:
+                    outcomes.extend(
+                        pool.imap_unordered(_run_cell, pool_tasks)
+                    )
+            else:
+                outcomes.extend(_run_cell(task) for task in pool_tasks)
+
+            for index, cell, _ in inline:
+                codec = codecs.get(cell.codec_name)
+                if codec is None:
+                    raise KeyError(
+                        f"cell {cell.label()} needs a live codec "
+                        f"{cell.codec_name!r} (not rebuildable by name)"
+                    )
+                started = time.perf_counter()
+                payload = compute_cell(
+                    cell, codec=codec, chunk_size=self.chunk_size
+                )
+                outcomes.append(
+                    (index, payload, time.perf_counter() - started, [])
+                )
+
+            for index, payload, wall_s, events in outcomes:
+                cell = cells[index]
+                results[index] = payload
+                self.stats.worker_wall_s += wall_s
+                obs_metrics.histogram("engine.cell_wall_s").observe(wall_s)
+                obs_metrics.counter("engine.worker_wall_ms").inc(
+                    int(wall_s * 1000)
+                )
+                replay_events(events)
+                encoded = payload.get("encoded_words")
+                if isinstance(encoded, int):
+                    obs_metrics.counter(
+                        "core.encoded_words", codec=cell.codec_name
+                    ).inc(encoded)
+                simulated = payload.get("simulated_cycles")
+                if isinstance(simulated, int):
+                    obs_metrics.counter(
+                        "rtl.simulated_cycles", codec=cell.codec_name
+                    ).inc(simulated)
+                if self.cache is not None and index in keys:
+                    self.cache.put(keys[index], payload)
+
+        missing = [i for i, payload in enumerate(results) if payload is None]
+        if missing:  # pragma: no cover - defensive
+            raise RuntimeError(f"engine lost cells at indices {missing}")
+        return results  # type: ignore[return-value]

@@ -55,10 +55,59 @@ def simulate_codecs(
     length: int = 1500,
     width: int = 32,
     codes: Sequence[str] = POWER_CODES,
+    engine: Optional["object"] = None,
 ) -> Dict[str, CodecPowerRun]:
-    """Run each codec circuit over a benchmark multiplexed stream."""
+    """Run each codec circuit over a benchmark multiplexed stream.
+
+    With ``engine`` (a :class:`repro.engine.BatchEngine`), the per-codec
+    gate-level simulations run as ``power-sim`` cells — parallel and
+    cache-served.  A cell payload carries only the cycle/toggle counts the
+    power estimator reads; the deterministic netlists are rebuilt here, so
+    the returned runs produce identical power figures either way (the
+    per-cycle output vectors, which nothing downstream reads, are empty).
+    """
     trace = multiplexed_trace(get_profile(benchmark), length)
-    runs: Dict[str, CodecPowerRun] = {}
+    if engine is not None:
+        from repro.engine import METRIC_POWER, make_cell
+
+        cells = [
+            make_cell(
+                METRIC_POWER,
+                benchmark,
+                trace.addresses,
+                trace.sels,
+                width=width,
+                codec_name=name,
+            )
+            for name in codes
+        ]
+        payloads = engine.run(cells)
+        runs: Dict[str, CodecPowerRun] = {}
+        for name, payload in zip(codes, payloads):
+            netlists = {
+                "encoder": ENCODER_BUILDERS[name](width).netlist,
+                "decoder": DECODER_BUILDERS[name](width).netlist,
+            }
+            results = {
+                side: SimulationResult(
+                    netlist=netlists[side],
+                    cycles=payload[side]["cycles"],
+                    outputs=[],
+                    net_toggles=list(payload[side]["net_toggles"]),
+                    gate_output_toggles=[],
+                    flop_output_toggles=[],
+                )
+                for side in ("encoder", "decoder")
+            }
+            runs[name] = CodecPowerRun(
+                name=name,
+                encoder_result=results["encoder"],
+                decoder_result=results["decoder"],
+                encoded_transitions_per_cycle=payload["per_cycle"],
+                line_count=payload["line_count"],
+            )
+        return runs
+    runs = {}
     for name in codes:
         with obs_span("simulate", codec=name, cycles=len(trace)):
             encoder = ENCODER_BUILDERS[name](width)

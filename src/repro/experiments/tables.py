@@ -63,11 +63,46 @@ def _stream_table(
     codec_names: Sequence[str],
     length: int = 0,
     traces: Optional[Sequence[AddressTrace]] = None,
+    engine: Optional["object"] = None,
 ) -> PaperTable:
-    """Build one paper table over the nine benchmark streams."""
+    """Build one paper table over the nine benchmark streams.
+
+    With ``engine`` (a :class:`repro.engine.BatchEngine`), the whole
+    table — every benchmark row's cells — is submitted as **one** batch,
+    so a worker pool spans the full grid rather than one row at a time;
+    the rendered table is identical to the sequential path.
+    """
     codecs = _codecs(codec_names)
     table = PaperTable(title=title, codec_names=list(codec_names))
-    streams = traces if traces is not None else all_traces(kind, length)
+    streams = list(traces if traces is not None else all_traces(kind, length))
+    if engine is not None:
+        from repro.engine import comparison_cells, row_from_results
+
+        cells = []
+        spans = []
+        for trace in streams:
+            row_cells = comparison_cells(
+                codecs,
+                trace.addresses,
+                trace.effective_sels(),
+                stride=trace.stride,
+                benchmark=trace.name.split(".")[0],
+            )
+            spans.append((len(cells), len(row_cells)))
+            cells.extend(row_cells)
+        payloads = engine.run(
+            cells, codecs={codec.name: codec for codec in codecs}
+        )
+        for trace, (start, count) in zip(streams, spans):
+            table.add(
+                row_from_results(
+                    codecs,
+                    payloads[start : start + count],
+                    len(trace.addresses),
+                    benchmark=trace.name.split(".")[0],
+                )
+            )
+        return table
     for trace in streams:
         table.add(
             compare_codecs(
@@ -100,63 +135,69 @@ def table1_text(width: int = 32, stride: int = 1) -> str:
     )
 
 
-def table2(length: int = 0) -> PaperTable:
+def table2(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
     """Table 2: existing codes on instruction address streams."""
     return _stream_table(
         "Table 2 — existing codes, instruction address streams",
         "instruction",
         EXISTING_CODES,
         length,
+        engine=engine,
     )
 
 
-def table3(length: int = 0) -> PaperTable:
+def table3(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
     """Table 3: existing codes on data address streams."""
     return _stream_table(
         "Table 3 — existing codes, data address streams",
         "data",
         EXISTING_CODES,
         length,
+        engine=engine,
     )
 
 
-def table4(length: int = 0) -> PaperTable:
+def table4(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
     """Table 4: existing codes on multiplexed address streams."""
     return _stream_table(
         "Table 4 — existing codes, multiplexed address streams",
         "multiplexed",
         EXISTING_CODES,
         length,
+        engine=engine,
     )
 
 
-def table5(length: int = 0) -> PaperTable:
+def table5(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
     """Table 5: mixed codes on instruction address streams."""
     return _stream_table(
         "Table 5 — mixed codes, instruction address streams",
         "instruction",
         MIXED_CODES,
         length,
+        engine=engine,
     )
 
 
-def table6(length: int = 0) -> PaperTable:
+def table6(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
     """Table 6: mixed codes on data address streams."""
     return _stream_table(
         "Table 6 — mixed codes, data address streams",
         "data",
         MIXED_CODES,
         length,
+        engine=engine,
     )
 
 
-def table7(length: int = 0) -> PaperTable:
+def table7(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
     """Table 7: mixed codes on multiplexed address streams."""
     return _stream_table(
         "Table 7 — mixed codes, multiplexed address streams",
         "multiplexed",
         MIXED_CODES,
         length,
+        engine=engine,
     )
 
 

@@ -9,10 +9,13 @@ from repro.metrics.report import (
     render_table,
 )
 from repro.metrics.fast import (
+    binary_reference_report,
     binary_transitions_fast,
+    count_transitions_fast,
     hamming_matrix,
     in_sequence_fraction_fast,
     line_activity_fast,
+    pack_words,
     transition_profile_fast,
 )
 from repro.metrics.stats import (
@@ -40,10 +43,13 @@ __all__ = [
     "StreamStatistics",
     "TransitionReport",
     "address_entropy",
+    "binary_reference_report",
     "binary_transitions",
     "binary_transitions_fast",
     "compare_codecs",
+    "count_transitions_fast",
     "hamming_matrix",
+    "pack_words",
     "in_sequence_fraction_fast",
     "line_activity_fast",
     "line_activity_profile",

@@ -9,9 +9,12 @@ test suite and used by the CLI for large trace files.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
+
+from repro.core.word import EncodedWord
+from repro.metrics.transitions import TransitionReport, count_transitions
 
 ArrayLike = Union[Sequence[int], np.ndarray]
 
@@ -62,18 +65,120 @@ def in_sequence_fraction_fast(addresses: ArrayLike, stride: int = 4) -> float:
     return float(hits) / (array.size - 1)
 
 
+def _per_line_counts(diffs: np.ndarray, lines: int) -> np.ndarray:
+    """How many entries of ``diffs`` have each of the low ``lines`` bits set.
+
+    Unpacks the 64-bit diff words into a (cycles, 64) bit matrix in one
+    numpy pass — no per-bit Python loop — and sums the columns.
+    """
+    if diffs.size == 0:
+        return np.zeros(lines, dtype=np.int64)
+    bit_matrix = np.unpackbits(
+        diffs.astype("<u8", copy=False).view(np.uint8).reshape(-1, 8),
+        axis=1,
+        bitorder="little",
+    )
+    return bit_matrix.sum(axis=0, dtype=np.int64)[:lines]
+
+
 def line_activity_fast(addresses: ArrayLike, width: int = 32) -> np.ndarray:
     """Per-line transitions/cycle of a plain-binary stream, LSB first."""
     array = _as_u64(addresses)
     if array.size < 2:
         return np.zeros(width, dtype=np.float64)
     diffs = array[1:] ^ array[:-1]
-    activities = np.empty(width, dtype=np.float64)
-    for bit in range(width):
-        activities[bit] = np.count_nonzero(
-            diffs & np.uint64(1 << bit)
-        ) / (array.size - 1)
-    return activities
+    return _per_line_counts(diffs, width) / float(array.size - 1)
+
+
+def pack_words(words: Sequence[EncodedWord], width: int = 32) -> np.ndarray:
+    """Pack an encoded stream into a uint64 array of ``word.packed(width)``.
+
+    Requires ``width + extra_count <= 64`` and a consistent redundant-line
+    count (the same error the scalar counter raises).
+    """
+    if not words:
+        return np.zeros(0, dtype=np.uint64)
+    extra_count = words[0].extra_count
+    if width + extra_count > 64:
+        raise ValueError(
+            f"cannot pack {width}+{extra_count} lines into 64-bit words"
+        )
+    for word in words:
+        if word.extra_count != extra_count:
+            raise ValueError(
+                "inconsistent redundant-line count within one stream: "
+                f"{word.extra_count} vs {extra_count}"
+            )
+    return np.fromiter(
+        (word.packed(width) for word in words),
+        dtype=np.uint64,
+        count=len(words),
+    )
+
+
+def count_transitions_fast(
+    words: Sequence[EncodedWord],
+    width: int = 32,
+    initial: Optional[EncodedWord] = None,
+) -> TransitionReport:
+    """Vectorised :func:`repro.metrics.count_transitions` (identical output).
+
+    Falls back to the scalar counter when the wire count exceeds the 64-bit
+    packing limit.
+    """
+    if not words:
+        return TransitionReport(0, 0, 0, 0, ())
+    extra_count = words[0].extra_count
+    lines = width + extra_count
+    if lines > 64 or (initial is not None and width + initial.extra_count > 64):
+        return count_transitions(words, width=width, initial=initial)
+    packed = pack_words(words, width=width)
+    if initial is not None:
+        packed = np.concatenate(
+            [np.array([initial.packed(width)], dtype=np.uint64), packed]
+        )
+    diffs = packed[1:] ^ packed[:-1]
+    total = int(_popcount(diffs).sum())
+    bus_mask = np.uint64((1 << width) - 1) if width < 64 else ~np.uint64(0)
+    bus_transitions = int(_popcount(diffs & bus_mask).sum())
+    per_line = _per_line_counts(diffs, lines)
+    return TransitionReport(
+        total=total,
+        bus_transitions=bus_transitions,
+        extra_transitions=total - bus_transitions,
+        cycles=int(diffs.size),
+        per_line=tuple(int(count) for count in per_line),
+    )
+
+
+def binary_reference_report(
+    addresses: ArrayLike, width: int = 32
+) -> TransitionReport:
+    """The plain-binary reference of a comparison row, fully vectorised.
+
+    Equal to ``count_transitions([EncodedWord(a) for a in addresses], width)``
+    without materialising any :class:`EncodedWord`.
+    """
+    array = _as_u64(addresses)
+    if array.size == 0:
+        return TransitionReport(0, 0, 0, 0, ())
+    if width > 64:
+        return count_transitions(
+            [EncodedWord(int(address)) for address in np.asarray(addresses)],
+            width=width,
+        )
+    if width < 64:
+        array = array & np.uint64((1 << width) - 1)
+    diffs = array[1:] ^ array[:-1]
+    total = int(_popcount(diffs).sum())
+    per_line = _per_line_counts(diffs, width)
+    return TransitionReport(
+        total=total,
+        bus_transitions=total,
+        extra_transitions=0,
+        cycles=int(diffs.size),
+        per_line=tuple(int(count) for count in per_line),
+    )
 
 
 def hamming_matrix(values: ArrayLike) -> np.ndarray:

@@ -53,11 +53,16 @@ def compare_codecs(
     sels: Optional[Sequence[int]] = None,
     stride: int = 4,
     benchmark: str = "",
+    engine: Optional["object"] = None,
 ) -> ComparisonRow:
     """Encode one stream under every codec and tabulate savings vs binary.
 
     The binary reference is computed from the stream itself (not taken from
     ``codecs``), so callers may pass only the candidate codes.
+
+    With ``engine`` (a :class:`repro.engine.BatchEngine`), the row's cells
+    are submitted to the engine — parallel and cache-served — instead of
+    encoded inline; the resulting row is identical either way.
     """
     if not addresses:
         raise ValueError("cannot compare codecs on an empty stream")
@@ -65,6 +70,19 @@ def compare_codecs(
     for codec in codecs:
         if codec.width != width:
             raise ValueError("all codecs in a comparison must share a width")
+
+    if engine is not None:
+        from repro.engine import comparison_cells, row_from_results
+
+        cells = comparison_cells(
+            codecs, addresses, sels, stride=stride, benchmark=benchmark
+        )
+        payloads = engine.run(
+            cells, codecs={codec.name: codec for codec in codecs}
+        )
+        return row_from_results(
+            codecs, payloads, len(addresses), benchmark=benchmark
+        )
 
     with obs_span("count", codec="binary", cycles=len(addresses)):
         binary_report = count_transitions(_binary_words(addresses), width=width)

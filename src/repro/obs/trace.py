@@ -224,6 +224,52 @@ def event(name: str, **fields: Any) -> None:
     )
 
 
+def detach_sinks() -> None:
+    """Drop every registered sink *without* closing it.
+
+    A forked worker process inherits the parent's sink list — including
+    open ``JsonlSink`` file descriptors shared with the parent.  Writing
+    (or closing) those from the child would interleave and corrupt the
+    parent's trace, so worker initializers call this first and then
+    install their own :class:`MemorySink` via :class:`capture`.
+    """
+    global _enabled
+    del _sinks[:]
+    _enabled = False
+    _state.stack = []
+
+
+def replay_events(events: Sequence[Dict[str, Any]]) -> None:
+    """Re-emit captured events (typically from a worker process) into the
+    current sinks.
+
+    Worker processes allocate span ids from their own counters, so ids
+    from different workers collide; every replayed event gets a fresh id
+    here (``span_end`` reuses its ``span_begin``'s remapped id) and
+    top-level worker spans are reparented under the caller's current
+    span, keeping the merged trace a single consistent tree.
+    """
+    if not _enabled or not events:
+        return
+    remap: Dict[int, int] = {}
+    stack = _state.stack
+    top_parent = stack[-1] if stack else None
+    for entry in events:
+        entry = dict(entry)
+        old_id = entry.get("id")
+        if isinstance(old_id, int):
+            if entry.get("type") == "span_end" and old_id in remap:
+                entry["id"] = remap[old_id]
+            else:
+                remap[old_id] = entry["id"] = _new_id()
+        parent = entry.get("parent")
+        if parent is None:
+            entry["parent"] = top_parent
+        else:
+            entry["parent"] = remap.get(parent, top_parent)
+        _emit(entry)
+
+
 class capture:
     """Context manager that tees events into a fresh :class:`MemorySink`.
 

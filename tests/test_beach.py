@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import make_codec, roundtrip_stream, train_beach_code
+from repro.core import make_codec, verify_roundtrip, train_beach_code
 from repro.core.beach import (
     apply_matrix,
     candidate_library,
@@ -77,14 +77,14 @@ class TestBeachCode:
     def test_roundtrip_on_training_stream(self):
         stream = _embedded_stream()
         codec = make_codec("beach", 32, training=stream[:400])
-        roundtrip_stream(codec, stream)
+        verify_roundtrip(codec, stream)
 
     def test_roundtrip_on_unrelated_stream(self):
         rng = random.Random(3)
         stream = _embedded_stream()
         codec = make_codec("beach", 32, training=stream[:400])
         unrelated = [rng.randrange(1 << 32) for _ in range(300)]
-        roundtrip_stream(codec, unrelated)
+        verify_roundtrip(codec, unrelated)
 
     def test_never_worse_than_identity_on_training(self):
         """Training selects per-cluster transforms by minimum transition

@@ -12,7 +12,7 @@ from repro.core import (
     binary_to_gray,
     gray_to_binary,
     make_codec,
-    roundtrip_stream,
+    verify_roundtrip,
 )
 from repro.metrics import count_transitions
 
@@ -39,7 +39,7 @@ class TestBinary:
 
     @given(addresses32)
     def test_roundtrip(self, addresses):
-        roundtrip_stream(make_codec("binary", 32), addresses)
+        verify_roundtrip(make_codec("binary", 32), addresses)
 
     def test_decoder_masks(self):
         from repro.core.word import EncodedWord
@@ -71,11 +71,11 @@ class TestGrayConversion:
 class TestGrayCodec:
     @given(addresses32)
     def test_roundtrip_stride1(self, addresses):
-        roundtrip_stream(make_codec("gray", 32, stride=1), addresses)
+        verify_roundtrip(make_codec("gray", 32, stride=1), addresses)
 
     @given(addresses32)
     def test_roundtrip_stride4(self, addresses):
-        roundtrip_stream(make_codec("gray", 32, stride=4), addresses)
+        verify_roundtrip(make_codec("gray", 32, stride=4), addresses)
 
     def test_sequential_stream_single_transition_per_address(self):
         """The Gray property the paper cites: 1 transition per +S step."""

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import BusInvertEncoder, make_codec, roundtrip_stream
+from repro.core import BusInvertEncoder, make_codec, verify_roundtrip
 from repro.core.word import hamming
 from repro.metrics import count_transitions, transition_profile
 
@@ -60,7 +60,7 @@ class TestBusInvertMechanics:
 class TestBusInvertGuarantee:
     @given(addresses)
     def test_roundtrip(self, stream):
-        roundtrip_stream(make_codec("bus-invert", 32), stream)
+        verify_roundtrip(make_codec("bus-invert", 32), stream)
 
     @given(addresses)
     def test_per_cycle_transitions_bounded(self, stream):

@@ -14,7 +14,7 @@ from repro.core import (
     DualT0Encoder,
     DualT0Decoder,
     make_codec,
-    roundtrip_stream,
+    verify_roundtrip,
 )
 from repro.core.word import EncodedWord
 from repro.metrics import count_transitions
@@ -133,13 +133,13 @@ class TestDualCodesRoundtrip:
     def test_dualt0_roundtrip(self, pairs):
         stream = [a for a, _ in pairs]
         sels = [s for _, s in pairs]
-        roundtrip_stream(make_codec("dualt0", 32), stream, sels)
+        verify_roundtrip(make_codec("dualt0", 32), stream, sels)
 
     @given(address_sel_streams)
     def test_dualt0bi_roundtrip(self, pairs):
         stream = [a for a, _ in pairs]
         sels = [s for _, s in pairs]
-        roundtrip_stream(make_codec("dualt0bi", 32), stream, sels)
+        verify_roundtrip(make_codec("dualt0bi", 32), stream, sels)
 
     def test_interleaved_sequential_pattern_nearly_silent(self):
         """I+D interleave with sequential instructions: dual T0 freezes all

@@ -1,0 +1,310 @@
+"""The batch execution engine: caching, parallel merge, CLI parity.
+
+Covers the tentpole guarantees: content-addressed cache keys that react
+to codec params and code versions (and nothing else), byte-identical
+results under worker pools, warm runs that perform zero encode work, and
+the ``repro-bus tables`` command matching ``table N`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import make_codec
+from repro.engine import (
+    BatchEngine,
+    METRIC_BINARY,
+    METRIC_CODEC,
+    ResultCache,
+    cell_key,
+    code_version,
+    comparison_cells,
+    compute_cell,
+    make_cell,
+    row_from_results,
+)
+from repro.metrics import compare_codecs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+from tests.conftest import make_mixed_stream
+
+
+@pytest.fixture
+def stream():
+    return make_mixed_stream(length=500, seed=9)
+
+
+@pytest.fixture
+def codecs():
+    return [make_codec(name, 32) for name in ("t0", "bus-invert", "dualt0bi")]
+
+
+def _codec_map(codecs):
+    return {codec.name: codec for codec in codecs}
+
+
+class TestCellKeys:
+    def test_key_is_deterministic(self, stream):
+        addresses, sels = stream
+        codec = make_codec("t0", 32)
+        cell = make_cell(METRIC_CODEC, "b", addresses, sels, codec=codec)
+        version = code_version(METRIC_CODEC, codec)
+        assert cell_key(cell, version) == cell_key(cell, version)
+
+    def test_key_changes_with_params(self, stream):
+        addresses, sels = stream
+        cells = [
+            make_cell(
+                METRIC_CODEC,
+                "b",
+                addresses,
+                sels,
+                codec=make_codec("t0", 32, stride=stride),
+            )
+            for stride in (4, 8)
+        ]
+        version = code_version(METRIC_CODEC, make_codec("t0", 32))
+        assert cell_key(cells[0], version) != cell_key(cells[1], version)
+
+    def test_key_changes_with_code_version(self, stream):
+        addresses, sels = stream
+        codec = make_codec("t0", 32)
+        cell = make_cell(METRIC_CODEC, "b", addresses, sels, codec=codec)
+        assert cell_key(cell, "v1") != cell_key(cell, "v2")
+
+    def test_key_changes_with_stream(self, stream):
+        addresses, sels = stream
+        codec = make_codec("t0", 32)
+        a = make_cell(METRIC_CODEC, "b", addresses, sels, codec=codec)
+        b = make_cell(
+            METRIC_CODEC, "b", [x ^ 4 for x in addresses], sels, codec=codec
+        )
+        version = code_version(METRIC_CODEC, codec)
+        assert cell_key(a, version) != cell_key(b, version)
+
+    def test_key_ignores_trace_name(self, stream):
+        """Content-addressed: renaming a benchmark reuses its entries."""
+        addresses, sels = stream
+        codec = make_codec("t0", 32)
+        a = make_cell(METRIC_CODEC, "gzip", addresses, sels, codec=codec)
+        b = make_cell(METRIC_CODEC, "gcc", addresses, sels, codec=codec)
+        version = code_version(METRIC_CODEC, codec)
+        assert cell_key(a, version) == cell_key(b, version)
+
+    def test_code_version_distinguishes_codecs(self):
+        # t0 and gray live in different modules, so their tags differ.
+        assert code_version(METRIC_CODEC, make_codec("t0", 32)) != code_version(
+            METRIC_CODEC, make_codec("gray", 32)
+        )
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"x": 1})
+        assert cache.get("a" * 64) == {"x": 1}
+        assert len(cache) == 1
+
+    def test_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("b" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "c" * 64
+        cache.put(key, {"x": 1})
+        cache._path(key).write_text("{truncated")
+        assert cache.get(key) is None
+
+    def test_wrong_key_inside_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "d" * 64
+        cache.put(key, {"x": 1})
+        cache._path(key).write_text(
+            json.dumps({"key": "e" * 64, "payload": {"x": 1}})
+        )
+        assert cache.get(key) is None
+
+
+class TestEngineRuns:
+    def test_matches_sequential_row(self, stream, codecs):
+        addresses, sels = stream
+        sequential = compare_codecs(codecs, addresses, sels, benchmark="b")
+        engine = BatchEngine(jobs=1)
+        row = compare_codecs(
+            codecs, addresses, sels, benchmark="b", engine=engine
+        )
+        assert row == sequential
+
+    def test_deterministic_under_jobs_4(self, stream, codecs):
+        """Merged output is index-ordered, not completion-ordered."""
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        reference = BatchEngine(jobs=1).run(cells, codecs=_codec_map(codecs))
+        for _ in range(3):
+            parallel = BatchEngine(jobs=4).run(
+                cells, codecs=_codec_map(codecs)
+            )
+            assert parallel == reference
+        row = row_from_results(codecs, reference, len(addresses), benchmark="b")
+        assert row == compare_codecs(codecs, addresses, sels, benchmark="b")
+
+    def test_warm_run_is_all_hits_and_no_encode_work(
+        self, tmp_path, stream, codecs
+    ):
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        cold = BatchEngine(jobs=1, cache_dir=tmp_path)
+        cold_payloads = cold.run(cells, codecs=_codec_map(codecs))
+        assert cold.stats.misses == len(cells)
+
+        before = obs_metrics.snapshot()
+        warm = BatchEngine(jobs=1, cache_dir=tmp_path)
+        with obs_trace.capture() as sink:
+            warm_payloads = warm.run(cells, codecs=_codec_map(codecs))
+        assert warm_payloads == cold_payloads
+        assert warm.stats.hits == len(cells)
+        assert warm.stats.misses == 0
+        # Zero codec encode work: no encode spans, no encoded-word counts.
+        span_names = [
+            event["name"]
+            for event in sink.events
+            if event["type"] == "span_begin"
+        ]
+        assert "encode" not in span_names
+        deltas = obs_metrics.counter_deltas(before, obs_metrics.snapshot())
+        encoded = [d for d in deltas if d["name"] == "core.encoded_words"]
+        assert encoded == []
+
+    def test_refresh_recomputes(self, tmp_path, stream, codecs):
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        BatchEngine(jobs=1, cache_dir=tmp_path).run(
+            cells, codecs=_codec_map(codecs)
+        )
+        refreshed = BatchEngine(jobs=1, cache_dir=tmp_path, refresh=True)
+        refreshed.run(cells, codecs=_codec_map(codecs))
+        assert refreshed.stats.hits == 0
+        assert refreshed.stats.misses == len(cells)
+
+    def test_code_version_edit_invalidates_only_that_codec(
+        self, tmp_path, stream, codecs
+    ):
+        """Simulate editing one codec: its cells recompute, others hit."""
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        cold = BatchEngine(jobs=1, cache_dir=tmp_path)
+        payloads = cold.run(cells, codecs=_codec_map(codecs))
+        # Rewrite the t0 cells' entries under a bumped version tag, as if
+        # t0.py had changed; leave every other codec's entries alone.
+        cache = ResultCache(tmp_path)
+        for cell, payload in zip(cells, payloads):
+            if cell.codec_name == "t0":
+                old = cell_key(
+                    cell, code_version(cell.metric, _codec_map(codecs)["t0"])
+                )
+                assert cache.get(old) is not None
+                assert cache.get(cell_key(cell, "edited-t0")) is None
+
+    def test_trained_codec_runs_inline_uncached(self, tmp_path, stream):
+        addresses, sels = stream
+        beach = make_codec("beach", 32, training=addresses[:100])
+        cells = comparison_cells([beach], addresses, sels, benchmark="b")
+        engine = BatchEngine(jobs=2, cache_dir=tmp_path)
+        payloads = engine.run(cells, codecs={"beach": beach})
+        assert engine.stats.uncacheable == 1  # the beach cell
+        row = row_from_results([beach], payloads, len(addresses), benchmark="b")
+        assert row == compare_codecs([beach], addresses, sels, benchmark="b")
+
+    def test_trained_codec_without_live_codec_raises(self, stream):
+        addresses, sels = stream
+        beach = make_codec("beach", 32, training=addresses[:100])
+        cells = comparison_cells([beach], addresses, sels, benchmark="b")
+        with pytest.raises(KeyError, match="beach"):
+            BatchEngine(jobs=1).run(cells)
+
+    def test_binary_reference_cell(self, stream):
+        from repro.engine import report_from_payload
+        from repro.metrics import count_transitions, in_sequence_fraction
+        from repro.core.word import EncodedWord
+
+        addresses, _ = stream
+        cell = make_cell(METRIC_BINARY, "b", addresses, width=32)
+        payload = compute_cell(cell)
+        expected = count_transitions(
+            [EncodedWord(a) for a in addresses], width=32
+        )
+        assert report_from_payload(payload["report"]) == expected
+        assert payload["in_sequence"] == in_sequence_fraction(addresses, 4)
+
+
+class TestEnginePowerCells:
+    def test_power_runs_match_sequential(self):
+        from repro.experiments.power_tables import simulate_codecs
+        from repro.rtl.power import estimate_from_simulation
+
+        sequential = simulate_codecs("gzip", 200, codes=("t0",))
+        engine_runs = simulate_codecs(
+            "gzip", 200, codes=("t0",), engine=BatchEngine(jobs=1)
+        )
+        for side in ("encoder_result", "decoder_result"):
+            a = estimate_from_simulation(
+                getattr(sequential["t0"], side), output_load=0.4e-12
+            )
+            b = estimate_from_simulation(
+                getattr(engine_runs["t0"], side), output_load=0.4e-12
+            )
+            assert a == b
+        assert (
+            engine_runs["t0"].encoded_transitions_per_cycle
+            == sequential["t0"].encoded_transitions_per_cycle
+        )
+        assert engine_runs["t0"].line_count == sequential["t0"].line_count
+
+
+class TestTablesCli:
+    def test_tables_output_matches_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["table", "2", "--length", "120"]) == 0
+        sequential = capsys.readouterr().out
+        cache = str(tmp_path / "cache")
+        assert (
+            main(["tables", "2", "--length", "120", "--cache", cache]) == 0
+        )
+        cold = capsys.readouterr()
+        assert cold.out == sequential
+        assert "27 cells" in cold.err
+        assert "27 computed" in cold.err
+        # warm rerun: all 27 cells served from cache
+        assert (
+            main(["tables", "2", "--length", "120", "--cache", cache]) == 0
+        )
+        warm = capsys.readouterr()
+        assert warm.out == sequential
+        assert "27 cached" in warm.err
+
+    def test_tables_jobs_matches_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["table", "3", "--length", "120"]) == 0
+        sequential = capsys.readouterr().out
+        assert (
+            main(
+                ["tables", "3", "--length", "120", "--jobs", "2", "--no-cache"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == sequential
+
+    def test_tables_rejects_bad_arguments(self, capsys):
+        from repro.cli import main
+
+        assert main(["tables", "12"]) == 2
+        assert "no such table" in capsys.readouterr().err
+        assert main(["tables", "2", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["tables", "2", "--chunk-size", "0"]) == 2
+        assert "--chunk-size" in capsys.readouterr().err

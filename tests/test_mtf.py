@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import make_codec, roundtrip_stream
+from repro.core import make_codec, verify_roundtrip
 from repro.core.mtf import MtfDecoder, MtfEncoder
 from repro.core.word import EncodedWord
 from repro.metrics import count_transitions
@@ -77,12 +77,12 @@ class TestMtfMechanics:
 class TestMtfBehaviour:
     @given(addresses)
     def test_roundtrip_random(self, stream):
-        roundtrip_stream(make_codec("mtf", 32), stream)
+        verify_roundtrip(make_codec("mtf", 32), stream)
 
     @given(addresses, st.sampled_from([4, 8, 16]), st.sampled_from([8, 12]))
     def test_roundtrip_any_geometry(self, stream, sectors, offset_bits):
         codec = make_codec("mtf", 32, offset_bits=offset_bits, sectors=sectors)
-        roundtrip_stream(codec, stream)
+        verify_roundtrip(codec, stream)
 
     def test_wins_on_sector_ping_pong(self):
         """Alternating among a few far-apart regions: the paper's data

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import available_codecs, make_codec, roundtrip_stream
+from repro.core import available_codecs, make_codec, verify_roundtrip
 from repro.metrics import count_transitions
 from repro.reliability import (
     ParityError,
@@ -27,7 +27,7 @@ class TestParityProtection:
     def test_roundtrip_preserved(self, name):
         trace = multiplexed_trace(get_profile("gzip"), 300)
         codec = parity_protected(make_codec(name, 32))
-        roundtrip_stream(codec, trace.addresses, trace.sels)
+        verify_roundtrip(codec, trace.addresses, trace.sels)
 
     def test_extra_line_appended(self):
         codec = parity_protected(make_codec("t0", 32))
@@ -91,7 +91,7 @@ class TestParityProtection:
     @settings(max_examples=20, deadline=None)
     def test_parity_roundtrip_property(self, stream):
         codec = parity_protected(make_codec("t0bi", 32))
-        roundtrip_stream(codec, stream)
+        verify_roundtrip(codec, stream)
 
 
 class TestIdleCycles:
@@ -173,4 +173,4 @@ class TestIdleCycles:
         trace = multiplexed_trace(get_profile("gzip"), 500)
         idle = insert_idle_cycles(trace, 0.25, seed=4)
         for name in ("t0", "dualt0bi", "wze", "mtf"):
-            roundtrip_stream(make_codec(name, 32), idle.addresses, idle.sels)
+            verify_roundtrip(make_codec(name, 32), idle.addresses, idle.sels)

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import make_codec, roundtrip_stream
+from repro.core import make_codec, verify_roundtrip
 from repro.core.partitioned import (
     PartitionedBusInvertDecoder,
     PartitionedBusInvertEncoder,
@@ -53,7 +53,7 @@ class TestPartitionedBusInvert:
         st.sampled_from([1, 2, 4, 8]),
     )
     def test_roundtrip(self, stream, partitions):
-        roundtrip_stream(make_codec("pbi", 32, partitions=partitions), stream)
+        verify_roundtrip(make_codec("pbi", 32, partitions=partitions), stream)
 
     def test_extra_line_names(self):
         codec = make_codec("pbi", 32, partitions=4)

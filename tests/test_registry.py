@@ -10,7 +10,7 @@ from repro.core import (
     encode_stream,
     make_codec,
     register_codec,
-    roundtrip_stream,
+    verify_roundtrip,
 )
 from repro.core.binary import BinaryDecoder, BinaryEncoder
 from repro.core.word import EncodedWord
@@ -66,7 +66,7 @@ class TestStreamHelpers:
         words = encode_stream(codec, stream)
         assert decode_stream(codec, words) == stream
 
-    def test_roundtrip_stream_detects_corruption(self):
+    def test_verify_roundtrip_detects_corruption(self):
         broken = Codec(
             name="broken",
             width=32,
@@ -74,7 +74,7 @@ class TestStreamHelpers:
             decoder_factory=lambda: _OffByOneDecoder(32),
         )
         with pytest.raises(RoundTripError) as excinfo:
-            roundtrip_stream(broken, [1, 2, 3])
+            verify_roundtrip(broken, [1, 2, 3])
         assert excinfo.value.codec_name == "broken"
         assert excinfo.value.index == 0
 

@@ -10,7 +10,7 @@ import random
 import pytest
 
 from repro.analysis import small_width_params
-from repro.core.base import roundtrip_stream
+from repro.core.base import verify_roundtrip
 from repro.core.registry import available_codecs, make_codec
 
 WIDTHS = [1, 4, 8, 32]
@@ -68,8 +68,8 @@ def test_roundtrip(name, width, stream_kind):
         pytest.skip(f"{name} is not constructible at width {width}")
     codec = make_codec(name, width, **params)
     addresses, sels = STREAMS[stream_kind](width)
-    # roundtrip_stream raises RoundTripError on the first lost address.
-    words = roundtrip_stream(codec, addresses, sels)
+    # verify_roundtrip raises RoundTripError on the first lost address.
+    words = verify_roundtrip(codec, addresses, sels)
     assert len(words) == len(addresses)
 
 

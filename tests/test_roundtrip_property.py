@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import available_codecs, make_codec, roundtrip_stream
+from repro.core import available_codecs, make_codec, verify_roundtrip
 
 TRAINING_FREE = [name for name in available_codecs() if name != "beach"]
 
@@ -31,7 +31,7 @@ def stream_strategy(width):
 def test_roundtrip_width32(name, pairs):
     addresses = [a for a, _ in pairs]
     sels = [s for _, s in pairs]
-    roundtrip_stream(make_codec(name, 32), addresses, sels)
+    verify_roundtrip(make_codec(name, 32), addresses, sels)
 
 
 @pytest.mark.parametrize("name", TRAINING_FREE)
@@ -40,7 +40,7 @@ def test_roundtrip_width32(name, pairs):
 def test_roundtrip_width16(name, pairs):
     addresses = [a for a, _ in pairs]
     sels = [s for _, s in pairs]
-    roundtrip_stream(make_codec(name, 16), addresses, sels)
+    verify_roundtrip(make_codec(name, 16), addresses, sels)
 
 
 @pytest.mark.parametrize("name", ["binary", "gray", "bus-invert", "t0", "t0bi"])
@@ -49,7 +49,7 @@ def test_roundtrip_width16(name, pairs):
 def test_roundtrip_width8(name, pairs):
     addresses = [a for a, _ in pairs]
     sels = [s for _, s in pairs]
-    roundtrip_stream(make_codec(name, 8), addresses, sels)
+    verify_roundtrip(make_codec(name, 8), addresses, sels)
 
 
 @given(pairs=stream_strategy(32), cut=st.integers(min_value=1, max_value=119))
@@ -60,7 +60,7 @@ def test_beach_roundtrip_trained_on_prefix(pairs, cut):
         addresses = addresses * 2
     training = addresses[: max(2, min(cut, len(addresses)))]
     codec = make_codec("beach", 32, training=training)
-    roundtrip_stream(codec, addresses)
+    verify_roundtrip(codec, addresses)
 
 
 @pytest.mark.parametrize("name", TRAINING_FREE)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import T0Decoder, T0Encoder, make_codec, roundtrip_stream
+from repro.core import T0Decoder, T0Encoder, make_codec, verify_roundtrip
 from repro.core.word import EncodedWord
 from repro.metrics import count_transitions
 
@@ -97,11 +97,11 @@ class TestT0AsymptoticZeroTransition:
 
     @given(addresses)
     def test_roundtrip(self, stream):
-        roundtrip_stream(make_codec("t0", 32, stride=4), stream)
+        verify_roundtrip(make_codec("t0", 32, stride=4), stream)
 
     @given(addresses, st.sampled_from([1, 2, 4, 8, 16]))
     def test_roundtrip_any_stride(self, stream, stride):
-        roundtrip_stream(make_codec("t0", 32, stride=stride), stream)
+        verify_roundtrip(make_codec("t0", 32, stride=stride), stream)
 
     def test_redundant_line_name(self):
         assert make_codec("t0", 32).extra_lines == ("INC",)

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import T0BIEncoder, T0BIDecoder, make_codec, roundtrip_stream
+from repro.core import T0BIEncoder, T0BIDecoder, make_codec, verify_roundtrip
 from repro.core.word import EncodedWord
 from repro.metrics import count_transitions
 
@@ -65,7 +65,7 @@ class TestT0BIMechanics:
 class TestT0BIBehaviour:
     @given(addresses)
     def test_roundtrip(self, stream):
-        roundtrip_stream(make_codec("t0bi", 32, stride=4), stream)
+        verify_roundtrip(make_codec("t0bi", 32, stride=4), stream)
 
     def test_matches_t0_on_sequential_streams(self):
         stream = [0x400000 + 4 * i for i in range(300)]

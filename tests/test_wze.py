@@ -10,7 +10,7 @@ from repro.core import (
     WorkingZoneDecoder,
     WorkingZoneEncoder,
     make_codec,
-    roundtrip_stream,
+    verify_roundtrip,
 )
 from repro.core.word import EncodedWord
 from repro.metrics import count_transitions, transition_profile
@@ -69,7 +69,7 @@ class TestWorkingZoneMechanics:
 class TestWorkingZoneBehaviour:
     @given(addresses)
     def test_roundtrip_random(self, stream):
-        roundtrip_stream(make_codec("wze", 32), stream)
+        verify_roundtrip(make_codec("wze", 32), stream)
 
     def test_roundtrip_zone_heavy_stream(self):
         rng = random.Random(4)
@@ -85,7 +85,7 @@ class TestWorkingZoneBehaviour:
             else:
                 cursors[zone] = zone + 4 * rng.randrange(64)
             stream.append(cursors[zone])
-        roundtrip_stream(make_codec("wze", 32, zones=4), stream)
+        verify_roundtrip(make_codec("wze", 32, zones=4), stream)
 
     def test_hits_cost_at_most_two_transitions(self):
         encoder = WorkingZoneEncoder(32, zones=4, stride=4)

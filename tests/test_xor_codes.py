@@ -10,7 +10,7 @@ from repro.core import (
     IncXorEncoder,
     OffsetEncoder,
     make_codec,
-    roundtrip_stream,
+    verify_roundtrip,
 )
 from repro.metrics import count_transitions
 
@@ -22,7 +22,7 @@ addresses = st.lists(
 class TestOffsetCode:
     @given(addresses)
     def test_roundtrip(self, stream):
-        roundtrip_stream(make_codec("offset", 32), stream)
+        verify_roundtrip(make_codec("offset", 32), stream)
 
     def test_sequential_stream_freezes_bus(self):
         """Constant +S steps give a constant offset word: zero transitions
@@ -49,11 +49,11 @@ class TestOffsetCode:
 class TestIncXorCode:
     @given(addresses)
     def test_roundtrip(self, stream):
-        roundtrip_stream(make_codec("inc-xor", 32), stream)
+        verify_roundtrip(make_codec("inc-xor", 32), stream)
 
     @given(addresses, st.sampled_from([1, 4, 8]))
     def test_roundtrip_any_stride(self, stream, stride):
-        roundtrip_stream(make_codec("inc-xor", 32, stride=stride), stream)
+        verify_roundtrip(make_codec("inc-xor", 32, stride=stride), stream)
 
     def test_sequential_stream_zero_transitions(self):
         """In-sequence addresses match the prediction: L = 0, bus frozen —
