@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
 from repro.core import make_codec
 from repro.experiments import PAPER_AVERAGES, compare_with_paper

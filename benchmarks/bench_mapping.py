@@ -9,7 +9,7 @@ variable-access workload.
 import random
 
 from repro.core import make_codec
-from repro.mapping import declaration_order_layout, evaluate_layout, optimize_layout
+from repro.mapping import declaration_order_layout, optimize_layout
 from repro.metrics import count_transitions, render_table
 
 from benchmarks.conftest import publish

@@ -6,7 +6,6 @@ The timed workload is the bus-invert encoder on a random stream (the
 expensive analytical case).
 """
 
-import random
 
 from repro.core import make_codec
 from repro.experiments import table1_text

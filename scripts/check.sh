@@ -52,6 +52,7 @@ else
     echo "    skipped: mypy not installed"
 fi
 
+run_step "repro-bus check (SA rules)" python -m repro check
 run_step "repro-bus lint --all" python -m repro lint --all
 run_step "repro-bus prove --fast" python -m repro prove --fast
 

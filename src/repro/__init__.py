@@ -38,7 +38,7 @@ from repro.core import (
     decode_stream,
     encode_stream,
     make_codec,
-    roundtrip_stream,
+    roundtrip_stream,  # repro: noqa SA011 - deprecated public re-export
     verify_roundtrip,
 )
 from repro.metrics import (

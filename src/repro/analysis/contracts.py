@@ -27,6 +27,8 @@ CC008     error     a formally found counterexample (``repro-bus prove``)
 CC009     info      a formal counterexample replayed clean against the
                     behavioural models (RTL-only defect), or carried no
                     address stream to replay; kept as a regression vector
+CC010     warning   registered codec has no :data:`CODEC_CONTRACTS` entry
+                    (the static SA013 rule fails CI on the same gap)
 ========  ========  ======================================================
 
 Exploration is a breadth-first search over the *joint* encoder+decoder
@@ -53,6 +55,39 @@ from repro.core.registry import available_codecs, make_codec
 DEFAULT_EXPLORATION_WIDTH = 4
 #: Joint-state cap; every shipped codec stays below it at width 4.
 DEFAULT_MAX_STATES = 4096
+
+#: One-line protocol contract per registered codec: what the redundant
+#: lines mean and what the decoder may assume.  The static analyzer's
+#: SA013 rule requires an entry for every ``register_codec`` registration,
+#: and :func:`check_codec` warns (CC010) when one is missing at runtime.
+CODEC_CONTRACTS: Dict[str, str] = {
+    "binary": "no redundant lines; the bus carries the address verbatim",
+    "gray": "no redundant lines; bus carries the Gray-mapped address, "
+    "decoder inverts the mapping statelessly",
+    "bus-invert": "one INV line; word is bitwise-inverted when that "
+    "halves the Hamming distance to the previous word (majority vote)",
+    "t0": "one INC line; INC=1 freezes the bus while the decoder's "
+    "counter supplies consecutive addresses",
+    "t0bi": "INC and INV lines; T0 freeze for sequential runs, "
+    "bus-invert vote on the residual stream",
+    "dualt0": "two INC lines; two interleaved T0 counters track a pair "
+    "of alternating sequential streams",
+    "dualt0bi": "two INC lines plus INV; dual-T0 freeze with bus-invert "
+    "on the residual stream",
+    "mtf": "no redundant lines; bus carries (sector index, offset) from "
+    "a move-to-front sector cache kept in lock-step by both ends",
+    "pbi": "one INV line per partition; bus-invert voted independently "
+    "on each partition slice",
+    "offset": "no redundant lines; bus carries the two's-complement "
+    "difference from the previous address",
+    "inc-xor": "no redundant lines; bus carries address XOR "
+    "(previous address + 1), zero word for sequential access",
+    "wze": "zone-hit extras; bus carries an offset relative to one of "
+    "the tracked working-zone registers both ends update identically",
+    "beach": "no redundant lines; bus carries the trained "
+    "cluster-permutation mapping fixed at construction from the "
+    "training trace",
+}
 
 
 def small_width_params(name: str, width: int) -> Optional[Dict[str, object]]:
@@ -140,6 +175,19 @@ def check_codec(
 ) -> AnalysisReport:
     """Run every contract rule against one registered codec."""
     report = AnalysisReport(target=f"{name}@{width}", pass_name="contracts")
+
+    # ------------------------------------------------------------------
+    # CC010 — every registered codec documents its line protocol.
+    # ------------------------------------------------------------------
+    contract = CODEC_CONTRACTS.get(name)
+    if contract is None:
+        report.add(
+            "CC010",
+            Severity.WARNING,
+            f"codec {name!r} has no CODEC_CONTRACTS entry documenting its "
+            "redundant-line protocol",
+            subjects=(name,),
+        )
 
     if params is None:
         params = small_width_params(name, width)

@@ -1,0 +1,58 @@
+"""Whole-project static analyzer: the SA rule catalog.
+
+AST-based (nothing in the analyzed tree is imported or executed), with a
+lightweight call graph so fork-safety and determinism rules scope
+themselves to worker-reachable and key-path code.  See
+``docs/analysis.md`` for the rule catalog and the suppression/baseline
+workflow; the CLI front end is ``repro-bus check``.
+"""
+
+from repro.analysis.static.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.static.callgraph import CallGraph
+from repro.analysis.static.check import (
+    CheckResult,
+    default_config,
+    run_check,
+)
+from repro.analysis.static.project import (
+    ModuleInfo,
+    Project,
+    ProjectConfig,
+    ProjectError,
+)
+from repro.analysis.static.rules import (
+    ALL_RULES,
+    CheckContext,
+    LocalRule,
+    ProjectRule,
+    RawFinding,
+    Rule,
+    rule_catalog,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "BaselineEntry",
+    "CallGraph",
+    "CheckContext",
+    "CheckResult",
+    "LocalRule",
+    "ModuleInfo",
+    "Project",
+    "ProjectConfig",
+    "ProjectError",
+    "ProjectRule",
+    "RawFinding",
+    "Rule",
+    "apply_baseline",
+    "default_config",
+    "load_baseline",
+    "rule_catalog",
+    "run_check",
+    "save_baseline",
+]

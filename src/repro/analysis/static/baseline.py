@@ -1,0 +1,130 @@
+"""Committed baseline for grandfathered SA findings.
+
+The baseline file is a JSON document listing findings that predate the
+analyzer (or are accepted for a stated reason).  Each entry matches on
+``(rule, module, subject)`` — *not* on line numbers, so unrelated edits to
+a file do not un-grandfather its entries — and carries a mandatory
+one-line ``justification``.  Baselined findings are demoted to INFO
+severity (reported, never failing); baseline entries that no longer match
+anything are reported as stale so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.static.rules import RawFinding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding with its justification."""
+
+    rule: str
+    module: str
+    subject: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.module, self.subject)
+
+
+class BaselineError(ValueError):
+    """Raised when the baseline file is malformed."""
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Load and validate a baseline file; missing file = empty baseline."""
+    if not path.is_file():
+        return []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    entries = document.get("findings") if isinstance(document, dict) else None
+    if not isinstance(entries, list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    loaded: List[BaselineEntry] = []
+    for index, raw in enumerate(entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline entry #{index} is not an object")
+        missing = {"rule", "module", "subject", "justification"} - set(raw)
+        if missing:
+            raise BaselineError(
+                f"baseline entry #{index} missing {sorted(missing)}"
+            )
+        if not str(raw["justification"]).strip():
+            raise BaselineError(
+                f"baseline entry #{index} has an empty justification"
+            )
+        loaded.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                module=str(raw["module"]),
+                subject=str(raw["subject"]),
+                justification=str(raw["justification"]),
+            )
+        )
+    return loaded
+
+
+def save_baseline(path: Path, entries: Sequence[BaselineEntry]) -> None:
+    """Write a baseline file (used by ``repro-bus check --write-baseline``)."""
+    document = {
+        "comment": (
+            "Grandfathered SA findings. Entries match on "
+            "(rule, module, subject); every entry needs a one-line "
+            "justification. Remove entries as the debt is paid down."
+        ),
+        "findings": [
+            {
+                "rule": entry.rule,
+                "module": entry.module,
+                "subject": entry.subject,
+                "justification": entry.justification,
+            }
+            for entry in sorted(
+                entries, key=lambda e: (e.rule, e.module, e.subject)
+            )
+        ],
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+@dataclass
+class BaselineMatch:
+    """The result of folding a baseline into a finding list."""
+
+    new: List[RawFinding]
+    grandfathered: List[Tuple[RawFinding, BaselineEntry]]
+    stale: List[BaselineEntry]
+
+
+def apply_baseline(
+    findings: Sequence[RawFinding], entries: Sequence[BaselineEntry]
+) -> BaselineMatch:
+    """Split findings into new vs grandfathered, and report stale entries."""
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        entry.key: entry for entry in entries
+    }
+    matched: set = set()
+    new: List[RawFinding] = []
+    grandfathered: List[Tuple[RawFinding, BaselineEntry]] = []
+    for finding in findings:
+        entry = by_key.get(finding.baseline_key)
+        if entry is None:
+            new.append(finding)
+        else:
+            matched.add(entry.key)
+            grandfathered.append((finding, entry))
+    stale = [entry for entry in entries if entry.key not in matched]
+    return BaselineMatch(new=new, grandfathered=grandfathered, stale=stale)

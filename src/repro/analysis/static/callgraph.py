@@ -1,0 +1,270 @@
+"""Lightweight call graph and reachability over a parsed :class:`Project`.
+
+The SA fork-safety and determinism rules do not apply to the whole tree —
+they apply to *code a worker process can execute* (everything statically
+reachable from the engine's worker entry points) and to *code that feeds
+cache keys and manifest views*.  This module computes those scopes:
+
+* every function/method gets a qualified name
+  (``repro.engine.cells.compute_cell``, ``repro.obs.trace.Span.__enter__``);
+* call edges are resolved through each module's import bindings
+  (``from repro.obs.trace import span as obs_span`` makes a call to
+  ``obs_span(...)`` an edge to ``repro.obs.trace.span``);
+* instantiating a project class conservatively marks **all** of its methods
+  reachable (context managers run ``__enter__``/``__exit__``, callbacks run
+  anything — over-approximating keeps the safety rules sound);
+* a bare function *reference* passed as an argument (``Pool(initializer=f)``)
+  also creates an edge, since the callee may invoke it.
+
+Resolution is deliberately best-effort: calls through variables, registry
+dicts or ``getattr`` are invisible, which under-approximates reachability
+for dynamically dispatched code.  The purity rules are therefore *not*
+reachability-scoped — they sweep every codec class wherever it is defined —
+and only the scoping of SA005/SA007/SA008/SA009/SA010 relies on this graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.static.project import ModuleInfo, Project, dotted_name
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the analyzed project."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with textual base names and method table."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, str] = field(default_factory=dict)
+
+
+def _import_bindings(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted target for every top-level import."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                bindings[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve below, per module
+                continue
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                bindings[local] = f"{base}.{alias.name}" if base else alias.name
+    return bindings
+
+
+def _relative_bindings(module: ModuleInfo) -> Dict[str, str]:
+    """Bindings for ``from . import x`` style relative imports."""
+    bindings: Dict[str, str] = {}
+    package_parts = module.name.split(".")
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.ImportFrom) and node.level):
+            continue
+        # level 1 inside module a.b.c refers to package a.b
+        anchor = package_parts[: len(package_parts) - node.level]
+        base = ".".join(anchor + ([node.module] if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            bindings[local] = f"{base}.{alias.name}" if base else alias.name
+    return bindings
+
+
+class CallGraph:
+    """Function/class index plus resolved call edges for one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._bindings: Dict[str, Dict[str, str]] = {}
+        self._edges: Dict[str, Set[str]] = {}
+        self._index()
+        self._link()
+
+    # -- construction ---------------------------------------------------
+
+    def _index(self) -> None:
+        for name in sorted(self.project.modules):
+            module = self.project.modules[name]
+            bindings = _import_bindings(module.tree)
+            bindings.update(_relative_bindings(module))
+            self._bindings[name] = bindings
+            for node in module.tree.body:
+                self._index_statement(module, node, class_name=None)
+
+    def _index_statement(
+        self, module: ModuleInfo, node: ast.stmt, class_name: Optional[str]
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            parts = [module.name]
+            if class_name:
+                parts.append(class_name)
+            parts.append(node.name)
+            qualname = ".".join(parts)
+            self.functions[qualname] = FunctionInfo(
+                qualname=qualname,
+                module=module,
+                node=node,
+                class_name=class_name,
+            )
+            if class_name:
+                class_qual = f"{module.name}.{class_name}"
+                if class_qual in self.classes:
+                    self.classes[class_qual].methods[node.name] = qualname
+        elif isinstance(node, ast.ClassDef) and class_name is None:
+            qualname = f"{module.name}.{node.name}"
+            bases = tuple(
+                base_name
+                for base in node.bases
+                if (base_name := dotted_name(base)) is not None
+            )
+            self.classes[qualname] = ClassInfo(
+                qualname=qualname, module=module, node=node, bases=bases
+            )
+            for child in node.body:
+                self._index_statement(module, child, class_name=node.name)
+
+    def _link(self) -> None:
+        for qualname, info in self.functions.items():
+            self._edges[qualname] = self._function_edges(info)
+
+    # -- name resolution ------------------------------------------------
+
+    def resolve(
+        self, module: ModuleInfo, name: str, class_name: Optional[str] = None
+    ) -> Optional[str]:
+        """Resolve a dotted reference in ``module`` to a project qualname.
+
+        Returns the qualified name of a project function or class, or
+        None when the reference is external or dynamic.
+        """
+        head, _, rest = name.partition(".")
+        if head in ("self", "cls") and class_name is not None:
+            if not rest or "." in rest:
+                return None
+            return self._resolve_method(f"{module.name}.{class_name}", rest)
+        candidates: List[str] = []
+        bindings = self._bindings.get(module.name, {})
+        if head in bindings:
+            target = bindings[head]
+            candidates.append(f"{target}.{rest}" if rest else target)
+        candidates.append(f"{module.name}.{name}")
+        candidates.append(name)  # already fully qualified
+        for candidate in candidates:
+            if candidate in self.functions or candidate in self.classes:
+                return candidate
+            # A from-import may bind a *class*, making x.y a method ref.
+            prefix, _, attr = candidate.rpartition(".")
+            if attr and prefix in self.classes:
+                resolved = self._resolve_method(prefix, attr)
+                if resolved is not None:
+                    return resolved
+        return None
+
+    def _resolve_method(self, class_qual: str, method: str) -> Optional[str]:
+        seen: Set[str] = set()
+        queue = [class_qual]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            for base in info.bases:
+                resolved_base = self.resolve(info.module, base)
+                if resolved_base is not None:
+                    queue.append(resolved_base)
+        return None
+
+    # -- edges ----------------------------------------------------------
+
+    def _function_edges(self, info: FunctionInfo) -> Set[str]:
+        edges: Set[str] = set()
+        module = info.module
+        for node in ast.walk(info.node):
+            names: List[str] = []
+            if isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee is not None:
+                    names.append(callee)
+                # Bare references handed to the callee (pool initializers,
+                # map targets, callbacks) may be invoked there.
+                for argument in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    reference = dotted_name(argument)
+                    if reference is not None:
+                        names.append(reference)
+            for name in names:
+                resolved = self.resolve(module, name, info.class_name)
+                if resolved is None:
+                    continue
+                if resolved in self.classes:
+                    edges.update(self.classes[resolved].methods.values())
+                    edges.update(self._inherited_methods(resolved))
+                elif resolved in self.functions:
+                    edges.add(resolved)
+        return edges
+
+    def _inherited_methods(self, class_qual: str) -> Set[str]:
+        methods: Set[str] = set()
+        info = self.classes.get(class_qual)
+        if info is None:
+            return methods
+        for base in info.bases:
+            resolved = self.resolve(info.module, base)
+            if resolved is not None and resolved in self.classes:
+                methods.update(self.classes[resolved].methods.values())
+                methods.update(self._inherited_methods(resolved))
+        return methods
+
+    # -- reachability ---------------------------------------------------
+
+    def reachable(self, entries: Iterable[str]) -> Set[str]:
+        """Qualified function names statically reachable from ``entries``.
+
+        An entry naming a class marks all of its methods as roots; entry
+        names absent from the project are ignored (the config may name
+        anchors that do not exist in a partial tree).
+        """
+        queue: List[str] = []
+        for entry in entries:
+            if entry in self.functions:
+                queue.append(entry)
+            elif entry in self.classes:
+                queue.extend(self.classes[entry].methods.values())
+        reached: Set[str] = set()
+        while queue:
+            current = queue.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            queue.extend(self._edges.get(current, ()))
+        return reached

@@ -424,6 +424,90 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.report import Severity
+    from repro.analysis.static import (
+        BaselineEntry,
+        ProjectError,
+        rule_catalog,
+        run_check,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        if args.json:
+            print(json.dumps({"rules": rule_catalog()}, indent=2))
+        else:
+            for entry in rule_catalog():
+                print(
+                    f"{entry['rule']}  {entry['severity']:>7}  "
+                    f"[{entry['family']}] {entry['title']}"
+                )
+        return 0
+
+    package_dir = Path(__file__).resolve().parent
+    root = Path(args.root) if args.root else package_dir
+    repo_root = root.resolve().parent.parent
+    baseline = (
+        Path(args.baseline)
+        if args.baseline
+        else repo_root / "sa-baseline.json"
+    )
+    matrix_file = repo_root / "tests" / "test_step_api.py"
+    extra = (
+        [(matrix_file, "tests.test_step_api")] if matrix_file.is_file() else []
+    )
+
+    try:
+        result = run_check(
+            root,
+            package=root.resolve().name,
+            baseline_path=baseline,
+            rules=args.rules,
+            extra_files=extra,
+        )
+    except ProjectError as error:
+        return _usage_error("check", str(error))
+
+    if args.write_baseline:
+        entries = [
+            BaselineEntry(
+                rule=f.rule,
+                module=f.module,
+                subject=f.subject,
+                justification="TODO: justify or fix",
+            )
+            for f in result.new_findings
+            if f.severity >= Severity.ERROR
+        ]
+        entries.extend(entry for _, entry in result.grandfathered)
+        save_baseline(baseline, entries)
+        print(
+            f"wrote {baseline} with {len(entries)} entries "
+            "(fill in the TODO justifications)"
+        )
+        return 0
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        output = result.render(verbose=args.verbose)
+        if output:
+            print(output)
+
+    if not result.ok:
+        return 1
+    has_warnings = result.stale_entries or any(
+        f.severity == Severity.WARNING for f in result.new_findings
+    )
+    if args.strict and has_warnings:
+        return 1
+    return 0
+
+
 def _cmd_prove(args: argparse.Namespace) -> int:
     import json
 
@@ -816,6 +900,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--skip-activity", action="store_true")
     p_lint.add_argument("--skip-contracts", action="store_true")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_check = add_command(
+        "check",
+        help="source-level static analysis: the SA rule catalog",
+        description=(
+            "Run the whole-project SA analyzer (repro.analysis.static) "
+            "over the package source: purity of steppable codecs, "
+            "fork-safety of worker-reachable code, determinism of cache "
+            "keys and manifests, and registry completeness.  AST-based — "
+            "nothing is imported or executed.  Exits nonzero on any new "
+            "(non-baseline) error-level finding; see docs/analysis.md "
+            "for the catalog and the suppression/baseline workflow."
+        ),
+    )
+    p_check.add_argument(
+        "--root",
+        help="package directory to analyze (default: the installed "
+        "repro package source)",
+    )
+    p_check.add_argument(
+        "--baseline",
+        help="baseline file for grandfathered findings "
+        "(default: sa-baseline.json next to the source tree)",
+    )
+    p_check.add_argument(
+        "--rules",
+        nargs="*",
+        metavar="SA0xx",
+        help="restrict to these rule ids",
+    )
+    p_check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_check.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current error findings to the baseline file "
+        "(justifications left as TODO)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="stale baseline entries and warnings also fail",
+    )
+    p_check.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show grandfathered (info-level) findings",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_prove = add_command(
         "prove",

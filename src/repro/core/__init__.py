@@ -15,7 +15,7 @@ from repro.core.base import (
     SteppableStateMixin,
     decode_stream,
     encode_stream,
-    roundtrip_stream,
+    roundtrip_stream,  # repro: noqa SA011 - deprecated public re-export
     verify_roundtrip,
 )
 from repro.core.beach import BeachCode, BeachDecoder, BeachEncoder, train_beach_code

@@ -114,7 +114,7 @@ def cell_key(cell: Cell, version: str) -> str:
 class ResultCache:
     """Directory-backed key → JSON payload store."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 

@@ -25,7 +25,10 @@ on-disk result cache trivial: a cell is *content-addressed* by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.metrics.report import ComparisonRow
 
 from repro.core.base import Codec
 from repro.core.word import EncodedWord
@@ -249,7 +252,7 @@ def row_from_results(
     payloads: Sequence[Dict[str, Any]],
     length: int,
     benchmark: str = "",
-):
+) -> "ComparisonRow":
     """Assemble a :class:`~repro.metrics.report.ComparisonRow` from the
     payloads of :func:`comparison_cells` (same order)."""
     from repro.metrics.report import CodecResult, ComparisonRow

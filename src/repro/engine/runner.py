@@ -113,7 +113,7 @@ class BatchEngine:
         cache_dir: Optional[Union[str, "object"]] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         refresh: bool = False,
-    ):
+    ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = (
             cache_dir

@@ -1,0 +1,6 @@
+"""Intentionally broken fixture tree for the SA analyzer tests.
+
+Each module seeds exactly one violation per SA rule (see
+``tests/test_static_analysis.py``); the tree is parsed by the analyzer
+but never imported, so the breakage is harmless.
+"""

@@ -1,0 +1,18 @@
+"""Determinism violations: one each for SA008, SA009 and SA010."""
+
+import hashlib
+import random
+
+
+def cache_key(parts):
+    """Key entry point for the fixture config."""
+    salt = random.random()  # the one SA008 violation
+    ordered = [part for part in set(parts)]  # the one SA009 violation
+    marker = id(parts)  # the one SA010 violation
+    text = f"{salt}:{marker}:{ordered}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def clean_key(parts):
+    text = ":".join(sorted(str(part) for part in parts))
+    return hashlib.sha256(text.encode()).hexdigest()

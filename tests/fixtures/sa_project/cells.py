@@ -1,0 +1,27 @@
+"""Fork-safety violations: one each for SA005, SA006 and SA007."""
+
+import multiprocessing
+import threading
+
+from sa_project.base import Cell, make_cell
+
+_RESULTS = []
+
+
+def compute_cell(cell):
+    """Worker entry point for the fixture config."""
+    _RESULTS.append(cell)  # the one SA005 violation
+    return _fan_out(cell)
+
+
+def _fan_out(cell):
+    with multiprocessing.Pool(2) as pool:  # the one SA007 violation
+        return pool.map(str, [cell])
+
+
+def build_locked_cell():
+    return make_cell("goodcodec", threading.Lock())  # the one SA006 violation
+
+
+def build_clean_cell():
+    return Cell(codec_name="goodcodec", payload=(1, 2, 3))

@@ -1,0 +1,59 @@
+"""Purity violations: one each for SA001, SA002, SA003 and SA004."""
+
+from dataclasses import dataclass
+
+from sa_project.base import BusDecoder, BusEncoder, CodecState
+
+
+class LeakyEncoder(BusEncoder):
+    """SA001: ``step`` writes an instance register directly."""
+
+    def step(self, state, address, sel):
+        self.last_address = address  # the one SA001 violation
+        return state, address
+
+
+@dataclass
+class UnfrozenState(CodecState):
+    """SA002: a CodecState subclass that is not frozen."""
+
+    previous: int = 0
+
+
+class SharedHistoryEncoder(BusEncoder):
+    """SA003: a mutable class attribute shared across instances."""
+
+    history = []  # the one SA003 violation
+
+    def encode(self, address, sel):
+        return address
+
+
+class StickyDefaultsEncoder(BusEncoder):
+    """SA004: a mutable default argument smuggling state across calls."""
+
+    def encode(self, address, sel, seen={}):  # the one SA004 violation
+        seen[address] = sel
+        return address
+
+
+class GoodEncoder(BusEncoder):
+    """A fully clean codec class: no rule may fire here."""
+
+    def __init__(self, width):
+        self.width = width
+        self.previous = 0
+
+    def encode(self, address, sel):
+        self.previous = address  # encode (stateful API) may write self
+        return address
+
+    def step(self, state, address, sel):
+        return state, address
+
+
+class GoodDecoder(BusDecoder):
+    """Clean decoder counterpart."""
+
+    def decode(self, word, sel):
+        return word

@@ -1,0 +1,11 @@
+"""API-hygiene violation: exactly one SA011 use of a deprecated shim."""
+
+from sa_project import base
+
+
+def check_stream(codec, addresses):
+    return base.roundtrip_stream(codec, addresses)  # the one SA011 violation
+
+
+def check_stream_properly(codec, addresses):
+    return base.verify_roundtrip(codec, addresses)

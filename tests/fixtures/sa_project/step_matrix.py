@@ -1,0 +1,11 @@
+"""Step-equivalence matrix: every registered codec except ``nomatrix``.
+
+A static name list (rather than ``available_codecs()``) so the analyzer
+must cross-reference the entries — SA014 fires for ``nomatrix`` only.
+"""
+
+MATRIX_CODECS = ("goodcodec", "badcodec", "nospec", "nocontract")
+
+
+def run_matrix():
+    return list(MATRIX_CODECS)

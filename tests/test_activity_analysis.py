@@ -15,7 +15,7 @@ from repro.analysis import (
     tolerances_for,
 )
 from repro.rtl.codecs import DECODER_BUILDERS, ENCODER_BUILDERS
-from repro.rtl.gates import AND2, INV, OR2, XOR2
+from repro.rtl.gates import AND2, INV, OR2
 from repro.rtl.netlist import Netlist
 
 

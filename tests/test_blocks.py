@@ -1,6 +1,5 @@
 """Tests for the word-level structural building blocks."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

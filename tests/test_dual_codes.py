@@ -10,7 +10,6 @@ from repro.core import (
     SEL_DATA,
     SEL_INSTRUCTION,
     DualT0BIEncoder,
-    DualT0BIDecoder,
     DualT0Encoder,
     DualT0Decoder,
     make_codec,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.explore import DesignPoint, explore_design_space, pareto_front, recommend
+from repro.explore import explore_design_space, pareto_front, recommend
 from repro.tracegen import get_profile, multiplexed_trace
 
 

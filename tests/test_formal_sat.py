@@ -4,7 +4,7 @@ cores the BDD engine already decides, restarts and budgets."""
 import itertools
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.analysis.formal import Cnf, Context, SatSolver, tseitin
 from repro.analysis.formal.sat import SatBudgetExceeded, luby

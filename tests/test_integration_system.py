@@ -8,7 +8,7 @@ results must be unaffected while the bus gets quieter.
 import pytest
 
 from repro.core import available_codecs, make_codec
-from repro.core.base import SEL_DATA, SEL_INSTRUCTION
+from repro.core.base import SEL_DATA
 from repro.memory import MainMemory, build_system
 from repro.metrics import count_transitions
 from repro.tracegen import build_kernel, run_program, trace_kernel

@@ -8,7 +8,7 @@ import pytest
 from repro.analysis.formal import FORMAL_CODECS, ProveOptions, prove_codec
 from repro.cli import main
 from repro.rtl.codecs import ENCODER_BUILDERS
-from repro.rtl.gates import XNOR2, XOR2
+from repro.rtl.gates import XNOR2
 
 
 def _mutant_t0_builder(width=32):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.rtl import blocks
 from repro.rtl.codecs import ENCODER_BUILDERS
-from repro.rtl.gates import BUF, INV, XOR2
+from repro.rtl.gates import BUF, XOR2
 from repro.rtl.netlist import Netlist
 from repro.rtl.pads import PAD_INPUT_CAP, OutputPadBank
 from repro.rtl.power import (

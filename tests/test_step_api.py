@@ -10,7 +10,6 @@ every sel pattern.
 from __future__ import annotations
 
 import pickle
-import random
 
 import pytest
 

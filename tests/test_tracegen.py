@@ -1,8 +1,6 @@
 """Tests for traces, synthetic generators and the multiplexer."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.base import SEL_DATA, SEL_INSTRUCTION
 from repro.metrics import in_sequence_fraction
