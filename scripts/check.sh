@@ -70,6 +70,16 @@ engine_smoke() {
 }
 run_step "engine smoke (tables 2 --jobs 2)" engine_smoke
 
+# The columnar kernels must stay bit-identical to the reference path
+# and keep clearing the cold-encode speedup floor.
+if python -c "import pytest_benchmark" >/dev/null 2>&1; then
+    run_step "kernel speedup (bench_kernels)" \
+        python -m pytest -q --benchmark-disable benchmarks/bench_kernels.py
+else
+    echo "==> kernel speedup (bench_kernels)"
+    echo "    skipped: pytest-benchmark not installed"
+fi
+
 run_step "pytest (tier 1)" python -m pytest -x -q tests
 
 echo

@@ -141,6 +141,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache,
         chunk_size=args.chunk_size,
         refresh=args.refresh,
+        use_kernels=not args.no_kernels,
     )
     for position, number in enumerate(numbers):
         if position:
@@ -757,6 +758,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="addresses per steppable-API chunk inside each worker",
+    )
+    p_tables.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help=(
+            "force the per-cycle steppable reference path instead of the "
+            "columnar numpy kernels (output is identical; see docs/kernels.md)"
+        ),
     )
     p_tables.add_argument(
         "--length", type=int, default=0, help="stream length override"

@@ -385,12 +385,26 @@ class Codec:
         return f"Codec({self.name!r}, width={self.width}{', ' + extras if extras else ''})"
 
 
+def _sized(stream: Optional[Iterable[Any]]) -> Any:
+    """Materialize a stream once so its length can be read for the span.
+
+    The encoder/decoder methods accept arbitrary iterables, but the obs
+    span wants ``len()`` up front — a generator input must be drained
+    here (exactly once), not crash on the length call.
+    """
+    if stream is None or hasattr(stream, "__len__"):
+        return stream
+    return list(stream)
+
+
 def encode_stream(
     codec: Codec,
-    addresses: Sequence[int],
-    sels: Optional[Sequence[int]] = None,
+    addresses: Iterable[int],
+    sels: Optional[Iterable[int]] = None,
 ) -> List[EncodedWord]:
     """Encode ``addresses`` with a fresh encoder from ``codec``."""
+    addresses = _sized(addresses)
+    sels = _sized(sels)
     with obs_span("encode", codec=codec.name, cycles=len(addresses)):
         words = codec.make_encoder().encode_stream(addresses, sels)
     obs_metrics.counter("core.encoded_words", codec=codec.name).inc(len(words))
@@ -399,10 +413,12 @@ def encode_stream(
 
 def decode_stream(
     codec: Codec,
-    words: Sequence[EncodedWord],
-    sels: Optional[Sequence[int]] = None,
+    words: Iterable[EncodedWord],
+    sels: Optional[Iterable[int]] = None,
 ) -> List[int]:
     """Decode ``words`` with a fresh decoder from ``codec``."""
+    words = _sized(words)
+    sels = _sized(sels)
     with obs_span("decode", codec=codec.name, cycles=len(words)):
         decoded = codec.make_decoder().decode_stream(words, sels)
     obs_metrics.counter("core.decoded_words", codec=codec.name).inc(len(decoded))

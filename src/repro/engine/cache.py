@@ -34,7 +34,7 @@ from typing import Any, Dict, Optional, Union
 import numpy as np
 
 from repro.core.base import Codec
-from repro.engine.cells import METRIC_POWER, Cell
+from repro.engine.cells import METRIC_CODEC, METRIC_POWER, Cell
 
 #: Source modules shared by every cell metric: the word/codec framework
 #: and the transition counters.
@@ -52,6 +52,11 @@ _POWER_MODULES = (
     "repro.rtl.power",
 )
 
+#: Additional modules whose source determines a codec-transitions cell's
+#: result: such cells may be computed by either the columnar kernels or
+#: the steppable reference path, so a kernel edit must invalidate them.
+_CODEC_MODULES = ("repro.core.kernels",)
+
 
 @lru_cache(maxsize=None)
 def _file_digest(path: str) -> str:
@@ -68,15 +73,51 @@ def _module_digest(module_name: str) -> str:
     return _file_digest(source)
 
 
+@lru_cache(maxsize=None)
+def _codec_module(codec_name: str) -> Optional[str]:
+    """The defining module of a registry codec, resolved by name alone.
+
+    Power cells carry no live :class:`Codec` (their circuits are rebuilt
+    by registry name inside the worker), so the codec's source module is
+    looked up through the codec registry instead.  Names the registry
+    cannot build without extra arguments (the trained beach code) resolve
+    to ``None`` and contribute no module — those cells are never cached.
+    """
+    from repro.core.registry import make_codec
+
+    try:
+        built = make_codec(codec_name, 32)
+    except Exception:
+        return None
+    if built.encoder_cls is None:
+        return None
+    return built.encoder_cls.__module__
+
+
 def code_version(
-    metric: str, codec: Optional[Codec] = None
+    metric: str,
+    codec: Optional[Codec] = None,
+    codec_name: Optional[str] = None,
 ) -> str:
-    """The code-version tag for one cell's metric/codec combination."""
+    """The code-version tag for one cell's metric/codec combination.
+
+    The codec's defining module is included for **every** metric — a
+    power cell's result depends on the codec's semantics just as much as
+    a transition cell's, so editing e.g. ``core/t0.py`` must invalidate
+    both.  ``codec_name`` resolves the module through the registry when
+    no live codec is at hand (power cells identify circuits by name).
+    """
     modules = list(_COMMON_MODULES)
     if metric == METRIC_POWER:
         modules.extend(_POWER_MODULES)
-    elif codec is not None and codec.encoder_cls is not None:
+    if metric == METRIC_CODEC:
+        modules.extend(_CODEC_MODULES)
+    if codec is not None and codec.encoder_cls is not None:
         modules.append(codec.encoder_cls.__module__)
+    elif codec_name is not None:
+        resolved = _codec_module(codec_name)
+        if resolved is not None:
+            modules.append(resolved)
     digest = hashlib.sha256()
     for name in sorted(set(modules)):
         digest.update(name.encode("utf-8"))

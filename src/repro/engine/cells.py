@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:
     from repro.metrics.report import ComparisonRow
 
+from repro.core import kernels
 from repro.core.base import Codec
 from repro.core.word import EncodedWord
 from repro.metrics.fast import (
@@ -167,17 +168,21 @@ def compute_cell(
     cell: Cell,
     codec: Optional[Codec] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    use_kernels: bool = True,
 ) -> Dict[str, Any]:
     """Run one cell to completion, returning its JSON-ready payload.
 
     ``codec`` overrides the registry rebuild — the parent process passes
     the live codec for codes that cannot be rebuilt from
     ``(name, width, params)`` alone (the trained beach code).
+    ``use_kernels`` routes codec-transitions cells through the columnar
+    kernels (:mod:`repro.core.kernels`) when the codec has one; the
+    payload is identical either way.
     """
     if cell.metric == METRIC_BINARY:
         return _compute_binary_reference(cell)
     if cell.metric == METRIC_CODEC:
-        return _compute_codec_transitions(cell, codec, chunk_size)
+        return _compute_codec_transitions(cell, codec, chunk_size, use_kernels)
     if cell.metric == METRIC_POWER:
         return _compute_power_sim(cell)
     raise ValueError(f"unknown cell metric {cell.metric!r}")
@@ -203,9 +208,23 @@ def _compute_binary_reference(cell: Cell) -> Dict[str, Any]:
 
 
 def _compute_codec_transitions(
-    cell: Cell, codec: Optional[Codec], chunk_size: int
+    cell: Cell,
+    codec: Optional[Codec],
+    chunk_size: int,
+    use_kernels: bool = True,
 ) -> Dict[str, Any]:
     codec = _cell_codec(cell, codec)
+    if use_kernels and kernels.has_encode_kernel(codec):
+        with obs_span("encode", codec=codec.name, cycles=len(cell.addresses)):
+            result = kernels.encode_stream_kernel(
+                codec, cell.addresses, cell.sels
+            )
+        with obs_span("count", codec=codec.name, cycles=result.cycles):
+            report = result.report()
+        return {
+            "report": report_to_payload(report),
+            "encoded_words": result.cycles,
+        }
     with obs_span("encode", codec=codec.name, cycles=len(cell.addresses)):
         words = chunked_encode(codec, cell.addresses, cell.sels, chunk_size)
     with obs_span("count", codec=codec.name, cycles=len(words)):

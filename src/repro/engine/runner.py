@@ -76,17 +76,21 @@ def _worker_init() -> None:
 
 
 def _run_cell(
-    task: Tuple[int, Cell, int, bool],
+    task: Tuple[int, Cell, int, bool, bool],
 ) -> Tuple[int, Dict[str, Any], float, List[Dict[str, Any]]]:
     """Worker entry point: compute one cell, capturing its trace spans."""
-    index, cell, chunk_size, traced = task
+    index, cell, chunk_size, traced, use_kernels = task
     started = time.perf_counter()
     if traced:
         with obs_capture() as sink:
-            payload = compute_cell(cell, chunk_size=chunk_size)
+            payload = compute_cell(
+                cell, chunk_size=chunk_size, use_kernels=use_kernels
+            )
         events = sink.events
     else:
-        payload = compute_cell(cell, chunk_size=chunk_size)
+        payload = compute_cell(
+            cell, chunk_size=chunk_size, use_kernels=use_kernels
+        )
         events = []
     return index, payload, time.perf_counter() - started, events
 
@@ -105,6 +109,11 @@ class BatchEngine:
     refresh:
         Recompute every cell and overwrite its cache entry (the
         ``--refresh`` CLI flag).
+    use_kernels:
+        Route codec-transitions cells through the columnar numpy kernels
+        (:mod:`repro.core.kernels`); codecs without a kernel fall back to
+        the steppable reference path transparently.  ``False`` forces the
+        reference path everywhere (the ``--no-kernels`` CLI flag).
     """
 
     def __init__(
@@ -113,6 +122,7 @@ class BatchEngine:
         cache_dir: Optional[Union[str, "object"]] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         refresh: bool = False,
+        use_kernels: bool = True,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = (
@@ -124,6 +134,7 @@ class BatchEngine:
         )
         self.chunk_size = chunk_size
         self.refresh = refresh
+        self.use_kernels = use_kernels
         self.stats = EngineStats(jobs=self.jobs)
         self._rebuild_probe: Dict[Tuple[Any, ...], bool] = {}
 
@@ -167,7 +178,7 @@ class BatchEngine:
         """
         codecs = codecs or {}
         results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
-        pool_tasks: List[Tuple[int, Cell, int, bool]] = []
+        pool_tasks: List[Tuple[int, Cell, int, bool, bool]] = []
         inline: List[Tuple[int, Cell, bool]] = []  # (index, cell, cacheable)
         keys: Dict[int, str] = {}
         traced = obs_enabled()
@@ -180,7 +191,9 @@ class BatchEngine:
                 cacheable = self.cache is not None and rebuildable
                 if cacheable:
                     version = code_version(
-                        cell.metric, codecs.get(cell.codec_name)
+                        cell.metric,
+                        codecs.get(cell.codec_name),
+                        codec_name=cell.codec_name,
                     )
                     keys[index] = cell_key(cell, version)
                     if not self.refresh:
@@ -202,7 +215,15 @@ class BatchEngine:
                     ).inc()
                 self.stats.misses += 1
                 if rebuildable:
-                    pool_tasks.append((index, cell, self.chunk_size, traced))
+                    pool_tasks.append(
+                        (
+                            index,
+                            cell,
+                            self.chunk_size,
+                            traced,
+                            self.use_kernels,
+                        )
+                    )
                 else:
                     inline.append((index, cell, False))
 
@@ -230,7 +251,10 @@ class BatchEngine:
                     )
                 started = time.perf_counter()
                 payload = compute_cell(
-                    cell, codec=codec, chunk_size=self.chunk_size
+                    cell,
+                    codec=codec,
+                    chunk_size=self.chunk_size,
+                    use_kernels=self.use_kernels,
                 )
                 outcomes.append(
                     (index, payload, time.perf_counter() - started, [])

@@ -19,11 +19,48 @@ from repro.metrics.transitions import TransitionReport, count_transitions
 ArrayLike = Union[Sequence[int], np.ndarray]
 
 
-def _as_u64(addresses: ArrayLike) -> np.ndarray:
-    array = np.asarray(addresses, dtype=np.uint64)
+def _as_u64(addresses: ArrayLike, width: Optional[int] = None) -> np.ndarray:
+    """Convert an address stream to uint64, validating like the scalar path.
+
+    A bare ``np.asarray(..., dtype=np.uint64)`` either wraps negative
+    inputs silently or raises a numpy-version-dependent casting error;
+    both diverge from the scalar encoders' ``_check_address``.  Negative
+    and (with ``width``) too-wide addresses instead raise the same
+    ``ValueError`` messages the scalar path produces, reporting the first
+    offending value in stream order.
+    """
+    array = np.asarray(addresses)
     if array.ndim != 1:
         raise ValueError(f"expected a 1-D address array, got shape {array.shape}")
-    return array
+    if array.dtype == np.uint64:
+        converted = array
+    else:
+        if array.size and array.dtype.kind in ("i", "f", "O"):
+            negative = np.flatnonzero(array < 0)
+            if negative.size:
+                value = array[negative[0]]
+                raise ValueError(
+                    f"address must be non-negative, got {int(value)}"
+                )
+            if array.dtype.kind == "O":
+                # Python ints past 64 bits would overflow the cast itself.
+                wide = np.flatnonzero(array > (1 << 64) - 1)
+                if wide.size:
+                    value = int(array[wide[0]])
+                    bits = width if width is not None else 64
+                    raise ValueError(
+                        f"address {value:#x} does not fit on a {bits}-bit bus"
+                    )
+        converted = array.astype(np.uint64)
+    if width is not None and width < 64 and converted.size:
+        limit = np.uint64((1 << width) - 1)
+        wide = np.flatnonzero(converted > limit)
+        if wide.size:
+            value = int(converted[wide[0]])
+            raise ValueError(
+                f"address {value:#x} does not fit on a {width}-bit bus"
+            )
+    return converted
 
 
 def _popcount(values: np.ndarray) -> np.ndarray:

@@ -54,6 +54,7 @@ def compare_codecs(
     stride: int = 4,
     benchmark: str = "",
     engine: Optional["object"] = None,
+    use_kernels: bool = True,
 ) -> ComparisonRow:
     """Encode one stream under every codec and tabulate savings vs binary.
 
@@ -63,6 +64,12 @@ def compare_codecs(
     With ``engine`` (a :class:`repro.engine.BatchEngine`), the row's cells
     are submitted to the engine — parallel and cache-served — instead of
     encoded inline; the resulting row is identical either way.
+
+    ``use_kernels`` routes each codec through its columnar numpy kernel
+    (:mod:`repro.core.kernels`) when one exists; codecs without a kernel
+    (the trained beach code, the table-driven extensions) fall back to
+    the per-cycle reference path.  The row is bit-identical either way —
+    ``False`` forces the reference path everywhere.
     """
     if not addresses:
         raise ValueError("cannot compare codecs on an empty stream")
@@ -84,6 +91,8 @@ def compare_codecs(
             codecs, payloads, len(addresses), benchmark=benchmark
         )
 
+    from repro.core import kernels
+
     with obs_span("count", codec="binary", cycles=len(addresses)):
         binary_report = count_transitions(_binary_words(addresses), width=width)
     obs_metrics.counter("metrics.transitions", codec="binary").inc(
@@ -91,9 +100,22 @@ def compare_codecs(
     )
     results: List[CodecResult] = []
     for codec in codecs:
-        words = encode_stream(codec, addresses, sels)
-        with obs_span("count", codec=codec.name, cycles=len(words)):
-            report = count_transitions(words, width=width)
+        if use_kernels and kernels.has_encode_kernel(codec):
+            with obs_span(
+                "encode", codec=codec.name, cycles=len(addresses)
+            ):
+                encoded = kernels.encode_stream_kernel(
+                    codec, addresses, sels
+                )
+            obs_metrics.counter(
+                "core.encoded_words", codec=codec.name
+            ).inc(encoded.cycles)
+            with obs_span("count", codec=codec.name, cycles=encoded.cycles):
+                report = encoded.report()
+        else:
+            words = encode_stream(codec, addresses, sels)
+            with obs_span("count", codec=codec.name, cycles=len(words)):
+                report = count_transitions(words, width=width)
         obs_metrics.counter("metrics.transitions", codec=codec.name).inc(
             report.total
         )
