@@ -49,7 +49,15 @@ def test_coupling_ablation(results_dir, benchmark):
         f"\n\ndual T0_BI savings vs binary: {savings_at('dualt0bi', 0.0):.1%} "
         f"at k=0 (the paper's metric) -> {savings_at('dualt0bi', 3.0):.1%} at k=3"
     )
-    publish(results_dir, "ablation_coupling", text)
+    publish(
+        results_dir,
+        "ablation_coupling",
+        text,
+        rows={
+            name: {f"k_{ratio:g}": costs[name][ratio] for ratio in RATIOS}
+            for name in CODES
+        },
+    )
 
     # The paper-era winner keeps beating binary at every coupling ratio...
     for ratio in RATIOS:

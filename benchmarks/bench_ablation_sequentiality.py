@@ -17,6 +17,7 @@ def test_sequentiality_ablation(results_dir, benchmark):
         results_dir,
         "ablation_sequentiality",
         render_sweep(points, "in-seq", "Ablation B — savings vs in-sequence fraction"),
+        rows={f"inseq_{p.parameter:g}": dict(p.savings) for p in points},
     )
 
     # T0 savings grow monotonically with sequentiality.

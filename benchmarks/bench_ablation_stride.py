@@ -16,6 +16,7 @@ def test_stride_ablation(results_dir, benchmark):
         results_dir,
         "ablation_stride",
         render_sweep(points, "stride", "Ablation A — T0-family stride sensitivity"),
+        rows={f"stride_{p.parameter:g}": dict(p.savings) for p in points},
     )
 
     by_stride = {p.parameter: p.savings for p in points}

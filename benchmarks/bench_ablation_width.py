@@ -56,7 +56,18 @@ def test_width_ablation(results_dir, benchmark):
         body,
         title="Ablation F — savings vs bus width",
     )
-    publish(results_dir, "ablation_width", text)
+    publish(
+        results_dir,
+        "ablation_width",
+        text,
+        rows={
+            f"width_{width}": {
+                "t0_instruction": t0_savings[width],
+                "bus_invert_random": bi_random_eff[width],
+            }
+            for width in WIDTHS
+        },
+    )
 
     # T0's relative savings barely move with width...
     assert abs(t0_savings[64] - t0_savings[16]) < 0.15

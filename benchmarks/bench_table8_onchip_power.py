@@ -18,7 +18,18 @@ STREAM_LENGTH = 2000
 def test_table8_onchip_power(results_dir, benchmark):
     runs = simulate_codecs(length=STREAM_LENGTH)
     rows = table8(runs)
-    publish(results_dir, "table8", render_table8(rows))
+    publish(
+        results_dir,
+        "table8",
+        render_table8(rows),
+        rows={
+            f"{row.load_farads * 1e12:g}pF": {
+                "encoder_mw": dict(row.encoder_mw),
+                "decoder_mw": dict(row.decoder_mw),
+            }
+            for row in rows
+        },
+    )
 
     smallest = rows[0]
     largest = rows[-1]

@@ -28,7 +28,24 @@ def test_table9_offchip_power(results_dir, benchmark):
             f"\n\nT0 -> dual T0_BI crossover at ~{crossover*1e12:.0f} pF "
             "(paper: T0 convenient for 20-100 pF, dual T0_BI above)"
         )
-    publish(results_dir, "table9", text)
+    publish(
+        results_dir,
+        "table9",
+        text,
+        rows={
+            "loads": {
+                f"{row.load_farads * 1e12:g}pF": {
+                    "pads_mw": dict(row.pads_mw),
+                    "global_mw": dict(row.global_mw),
+                    "best": row.best(),
+                }
+                for row in rows
+            },
+            "crossover_pf": (
+                crossover * 1e12 if crossover is not None else None
+            ),
+        },
+    )
 
     # Every encoded code beats binary once the pads dominate.
     heavy = rows[-1]

@@ -10,20 +10,25 @@ pytest-benchmark.  Run with::
 Each published result produces two files: ``<name>.txt`` (the rendered
 block quoted by EXPERIMENTS.md) and ``<name>.json`` (the same result
 machine-readable: optional structured rows plus a provenance manifest —
-git sha, counter snapshot, a digest of the rendered text).
+git sha, counter snapshot, a digest of the rendered text) — and appends
+one record to ``results/history.jsonl``, the append-only trajectory that
+``repro-bus bench report`` gates regressions against (see
+docs/observability.md, "Performance telemetry").
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 import pytest
 
+from repro.obs.history import append_record, make_record
 from repro.obs.manifest import collect_manifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_FILE = "history.jsonl"
 
 
 @pytest.fixture(scope="session")
@@ -33,19 +38,32 @@ def results_dir() -> Path:
 
 
 def publish(
-    results_dir: Path, name: str, text: str, rows: Optional[Any] = None
+    results_dir: Path,
+    name: str,
+    text: str,
+    rows: Optional[Any] = None,
+    timing: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Print a result block and persist it (text + JSON) for EXPERIMENTS.md."""
+    """Print a result block and persist it (text + JSON + history).
+
+    ``rows`` is the structured, machine-comparable form of the result;
+    ``timing`` optional wall-clock measurements.  Both land in the
+    ``<name>.json`` snapshot and in the appended history record.
+    """
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    manifest = collect_manifest(command=f"benchmarks/{name}", result_text=text)
     payload = {
         "name": name,
         "rows": rows,
-        "manifest": collect_manifest(
-            command=f"benchmarks/{name}", result_text=text
-        ),
+        "timing": timing,
+        "manifest": manifest,
     }
     (results_dir / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    append_record(
+        results_dir / HISTORY_FILE,
+        make_record(name, rows, manifest=manifest, timing=timing),
     )

@@ -80,6 +80,10 @@ else
     echo "    skipped: pytest-benchmark not installed"
 fi
 
+# Benchmark history regression gate: compare the latest history record
+# per benchmark against its previous run under benchmarks/budgets.toml.
+run_step "bench report --strict" python -m repro bench report --strict
+
 run_step "pytest (tier 1)" python -m pytest -x -q tests
 
 echo

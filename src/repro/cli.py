@@ -17,7 +17,10 @@ Subcommands
                                against the paper specs plus k-induction
                                proofs of ``decode(encode(a)) == a``
 * ``profile``                — run a workload under tracing and print a
-                               per-stage wall-time breakdown
+                               per-stage wall-time breakdown (with
+                               ``--flame`` / ``--tree`` span analytics)
+* ``bench report``           — compare the latest benchmark history
+                               records against declarative budgets
 
 Every subcommand also accepts the observability flags ``--trace FILE``
 (JSONL span events), ``--stats`` (counter deltas on stderr) and
@@ -644,10 +647,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             return [prove_codec(name, options) for name in names]
 
     _, result = run_profile(workload, fn, params=params)
+    if args.flame:
+        from repro.obs import write_flame
+
+        stacks = write_flame(args.flame, result.captured_events)
+        print(
+            f"repro-bus profile: wrote {stacks} collapsed stacks to "
+            f"{args.flame}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(result.render())
+        if args.tree:
+            from repro.obs import build_profile_tree, render_tree
+
+            print()
+            print(render_tree(build_profile_tree(result.captured_events)))
+    if result.error:
+        print(
+            f"repro-bus profile: workload failed: {result.error}",
+            file=sys.stderr,
+        )
+        return 1
     if result.schema_errors:
         print(
             f"repro-bus profile: {len(result.schema_errors)} schema-invalid "
@@ -656,6 +679,35 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import run_report
+
+    # action is constrained to "report" by the parser; the positional
+    # exists so future actions (e.g. "bench prune") slot in naturally.
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    history = (
+        Path(args.history)
+        if args.history
+        else repo_root / "benchmarks" / "results" / "history.jsonl"
+    )
+    budgets = (
+        Path(args.budgets)
+        if args.budgets
+        else repo_root / "benchmarks" / "budgets.toml"
+    )
+    if not budgets.is_file():
+        return _usage_error("bench", f"no budgets file at {budgets}")
+    report = run_report(history, budgets, against=args.against)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -1087,7 +1139,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    p_profile.add_argument(
+        "--flame",
+        metavar="FILE",
+        help=(
+            "write the captured spans as collapsed stacks "
+            "(flamegraph.pl / speedscope format) to FILE"
+        ),
+    )
+    p_profile.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the self/cumulative-time profile tree",
+    )
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_bench = add_command(
+        "bench",
+        help="benchmark history: compare runs against declarative budgets",
+        description=(
+            "Evaluate the latest benchmarks/results/history.jsonl records "
+            "against the budgets in benchmarks/budgets.toml: absolute "
+            "floors on structured result rows, and latest/baseline ratio "
+            "bounds for time-like metrics.  The baseline is the previous "
+            "record of each benchmark name, or --against <sha-prefix | "
+            "history-file>.  Exits nonzero on any budget violation; "
+            "--strict also fails on unresolvable budget paths."
+        ),
+    )
+    p_bench.add_argument(
+        "action", choices=("report",), help="bench subaction"
+    )
+    p_bench.add_argument(
+        "--against",
+        metavar="SHA|FILE",
+        help="baseline: a git sha prefix in the history, or another "
+        "history file (default: the previous run of each benchmark)",
+    )
+    p_bench.add_argument(
+        "--history",
+        metavar="FILE",
+        help="history file (default benchmarks/results/history.jsonl)",
+    )
+    p_bench.add_argument(
+        "--budgets",
+        metavar="FILE",
+        help="budget file (default benchmarks/budgets.toml)",
+    )
+    p_bench.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_bench.add_argument(
+        "--strict",
+        action="store_true",
+        help="unresolvable budget paths also fail (nonzero exit)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -196,6 +196,39 @@ def _cell_codec(cell: Cell, codec: Optional[Codec]) -> Codec:
     return make_codec(cell.codec_name, cell.width, **dict(cell.params))
 
 
+#: Execution paths a cell can take, as reported in engine telemetry.
+PATH_COLUMNAR = "columnar"
+PATH_GATE_SIM = "gate-sim"
+PATH_KERNEL = "kernel"
+PATH_STEPPABLE = "steppable"
+
+
+def cell_path(
+    cell: Cell, use_kernels: bool = True, codec: Optional[Codec] = None
+) -> str:
+    """Which execution path :func:`compute_cell` will take for ``cell``.
+
+    Telemetry metadata only — it never enters the cell payload (payloads
+    must stay byte-identical between the kernel and steppable paths so
+    cache entries are path-agnostic).
+    """
+    if cell.metric == METRIC_BINARY:
+        return PATH_COLUMNAR
+    if cell.metric == METRIC_POWER:
+        return PATH_GATE_SIM
+    if not use_kernels:
+        return PATH_STEPPABLE
+    try:
+        resolved = _cell_codec(cell, codec)
+    except Exception:
+        return PATH_STEPPABLE
+    return (
+        PATH_KERNEL
+        if kernels.has_encode_kernel(resolved)
+        else PATH_STEPPABLE
+    )
+
+
 def _compute_binary_reference(cell: Cell) -> Dict[str, Any]:
     with obs_span(
         "count", codec="binary", cycles=len(cell.addresses)

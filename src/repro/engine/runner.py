@@ -37,6 +37,7 @@ from repro.engine.cells import (
     METRIC_BINARY,
     METRIC_POWER,
     Cell,
+    cell_path,
     compute_cell,
 )
 from repro.obs import metrics as obs_metrics
@@ -59,12 +60,14 @@ class EngineStats:
     misses: int = 0
     uncacheable: int = 0
     worker_wall_s: float = 0.0
+    queue_wall_s: float = 0.0
 
     def summary(self) -> str:
         return (
             f"{self.cells} cells: {self.hits} cached, "
             f"{self.misses} computed, {self.uncacheable} uncacheable "
-            f"({self.worker_wall_s:.2f}s worker wall, jobs={self.jobs})"
+            f"({self.worker_wall_s:.2f}s worker wall, "
+            f"{self.queue_wall_s:.2f}s queued, jobs={self.jobs})"
         )
 
 
@@ -75,12 +78,24 @@ def _worker_init() -> None:
     detach_sinks()
 
 
-def _run_cell(
-    task: Tuple[int, Cell, int, bool, bool],
-) -> Tuple[int, Dict[str, Any], float, List[Dict[str, Any]]]:
+#: One schedulable worker task: ``(index, cell, chunk_size, traced,
+#: use_kernels, submitted_at)``.  ``submitted_at`` is the parent's
+#: ``time.perf_counter()`` at enqueue time; on Linux the monotonic clock
+#: is system-wide, so the forked worker can subtract it to measure how
+#: long the task sat in the pool queue before a worker picked it up.
+_CellTask = Tuple[int, Cell, int, bool, bool, float]
+
+#: Worker outcome: ``(index, payload, meta, events)``.  ``meta`` carries
+#: telemetry only (``wall_s``, ``queue_s``, ``path``) — it never touches
+#: the payload, which must stay byte-identical across execution paths.
+_CellOutcome = Tuple[int, Dict[str, Any], Dict[str, Any], List[Dict[str, Any]]]
+
+
+def _run_cell(task: _CellTask) -> _CellOutcome:
     """Worker entry point: compute one cell, capturing its trace spans."""
-    index, cell, chunk_size, traced, use_kernels = task
+    index, cell, chunk_size, traced, use_kernels, submitted_at = task
     started = time.perf_counter()
+    events: List[Dict[str, Any]]
     if traced:
         with obs_capture() as sink:
             payload = compute_cell(
@@ -92,7 +107,12 @@ def _run_cell(
             cell, chunk_size=chunk_size, use_kernels=use_kernels
         )
         events = []
-    return index, payload, time.perf_counter() - started, events
+    meta = {
+        "wall_s": time.perf_counter() - started,
+        "queue_s": max(0.0, started - submitted_at),
+        "path": cell_path(cell, use_kernels),
+    }
+    return index, payload, meta, events
 
 
 class BatchEngine:
@@ -178,10 +198,12 @@ class BatchEngine:
         """
         codecs = codecs or {}
         results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
-        pool_tasks: List[Tuple[int, Cell, int, bool, bool]] = []
+        pool_tasks: List[_CellTask] = []
         inline: List[Tuple[int, Cell, bool]] = []  # (index, cell, cacheable)
         keys: Dict[int, str] = {}
         traced = obs_enabled()
+        batch_hits = 0
+        batch_started = time.perf_counter()
 
         with obs_span("engine", cells=len(cells), jobs=self.jobs):
             for index, cell in enumerate(cells):
@@ -201,6 +223,7 @@ class BatchEngine:
                         if hit is not None:
                             results[index] = hit
                             self.stats.hits += 1
+                            batch_hits += 1
                             obs_metrics.counter(
                                 "engine.cache.hits", metric=cell.metric
                             ).inc()
@@ -222,14 +245,13 @@ class BatchEngine:
                             self.chunk_size,
                             traced,
                             self.use_kernels,
+                            time.perf_counter(),
                         )
                     )
                 else:
                     inline.append((index, cell, False))
 
-            outcomes: List[
-                Tuple[int, Dict[str, Any], float, List[Dict[str, Any]]]
-            ] = []
+            outcomes: List[_CellOutcome] = []
             if pool_tasks and self.jobs > 1:
                 context = multiprocessing.get_context()
                 with context.Pool(
@@ -256,16 +278,35 @@ class BatchEngine:
                     chunk_size=self.chunk_size,
                     use_kernels=self.use_kernels,
                 )
-                outcomes.append(
-                    (index, payload, time.perf_counter() - started, [])
-                )
+                meta = {
+                    "wall_s": time.perf_counter() - started,
+                    "queue_s": 0.0,
+                    "path": cell_path(cell, self.use_kernels, codec=codec),
+                }
+                outcomes.append((index, payload, meta, []))
 
-            for index, payload, wall_s, events in outcomes:
+            for index, payload, meta, events in outcomes:
                 cell = cells[index]
                 results[index] = payload
+                wall_s = float(meta["wall_s"])
+                queue_s = float(meta["queue_s"])
+                path = str(meta["path"])
                 self.stats.worker_wall_s += wall_s
+                self.stats.queue_wall_s += queue_s
                 obs_metrics.histogram("engine.cell_wall_s").observe(wall_s)
                 obs_metrics.counter("engine.worker_wall_ms").inc(
+                    int(wall_s * 1000)
+                )
+                # Queue-wait vs compute split and per-path breakdown, in
+                # microseconds so sub-second cells spread across the
+                # power-of-two buckets.
+                obs_metrics.histogram(
+                    "engine.cell_compute_us", path=path
+                ).observe(wall_s * 1e6)
+                obs_metrics.histogram("engine.cell_queue_us").observe(
+                    queue_s * 1e6
+                )
+                obs_metrics.counter("engine.path_wall_ms", path=path).inc(
                     int(wall_s * 1000)
                 )
                 replay_events(events)
@@ -281,6 +322,20 @@ class BatchEngine:
                     ).inc(simulated)
                 if self.cache is not None and index in keys:
                     self.cache.put(keys[index], payload)
+
+            # Batch-level utilization gauges (last batch wins — gauges
+            # are point-in-time by contract).
+            batch_wall_s = time.perf_counter() - batch_started
+            computed_wall_s = sum(
+                float(meta["wall_s"]) for _, _, meta, _ in outcomes
+            )
+            capacity_s = batch_wall_s * self.jobs
+            obs_metrics.gauge("engine.worker_utilization").set(
+                computed_wall_s / capacity_s if capacity_s > 0 else 0.0
+            )
+            obs_metrics.gauge("engine.cache.hit_rate").set(
+                batch_hits / len(cells) if cells else 0.0
+            )
 
         missing = [i for i, payload in enumerate(results) if payload is None]
         if missing:  # pragma: no cover - defensive

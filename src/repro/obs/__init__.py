@@ -10,14 +10,32 @@ Three layers, all zero-dependency:
   per-stage wall time, counter snapshot, result digest) written next to
   pipeline outputs.
 * :mod:`repro.obs.profiling` — the ``repro-bus profile`` engine.
+* :mod:`repro.obs.perf` — span analytics: profile trees, per-span-kind
+  percentiles, collapsed-stack (flame graph) export.
+* :mod:`repro.obs.history` — benchmark history records and declarative
+  budget evaluation (``repro-bus bench report``).
 
 See ``docs/observability.md`` for the event schema and counter catalog.
 """
 
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    BenchReport,
+    Budget,
+    append_record,
+    evaluate_budgets,
+    latest_per_name,
+    load_budgets,
+    load_history,
+    make_record,
+    resolve_baselines,
+    run_report,
+)
 from repro.obs.manifest import (
     DETERMINISTIC_FIELDS,
     MANIFEST_SCHEMA_VERSION,
     aggregate_stages,
+    charged_spans,
     collect_manifest,
     deterministic_view,
     digest_text,
@@ -36,6 +54,16 @@ from repro.obs.metrics import (
     gauge,
     histogram,
     snapshot,
+)
+from repro.obs.perf import (
+    ProfileNode,
+    build_profile_tree,
+    collapse_stacks,
+    parse_collapsed,
+    render_tree,
+    span_histograms,
+    span_percentiles,
+    write_flame,
 )
 from repro.obs.profiling import (
     WORKLOAD_STAGES,
@@ -61,14 +89,18 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BenchReport",
+    "Budget",
     "Counter",
     "DETERMINISTIC_FIELDS",
     "Gauge",
+    "HISTORY_SCHEMA_VERSION",
     "Histogram",
     "JsonlSink",
     "MANIFEST_SCHEMA_VERSION",
     "MemorySink",
     "NULL_SPAN",
+    "ProfileNode",
     "ProfileResult",
     "REGISTRY",
     "Registry",
@@ -77,7 +109,11 @@ __all__ = [
     "StageStat",
     "WORKLOAD_STAGES",
     "aggregate_stages",
+    "append_record",
+    "build_profile_tree",
     "capture",
+    "charged_spans",
+    "collapse_stacks",
     "collect_manifest",
     "counter",
     "counter_deltas",
@@ -86,16 +122,28 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "evaluate_budgets",
     "event",
     "gauge",
     "git_sha",
     "histogram",
+    "latest_per_name",
+    "load_budgets",
+    "load_history",
     "load_jsonl",
+    "make_record",
+    "parse_collapsed",
+    "render_tree",
+    "resolve_baselines",
     "run_profile",
+    "run_report",
     "snapshot",
     "span",
+    "span_histograms",
+    "span_percentiles",
     "stage_times_from_events",
     "validate_event",
     "validate_events",
+    "write_flame",
     "write_manifest",
 ]

@@ -1,0 +1,412 @@
+"""Benchmark history and regression gating.
+
+Every benchmark published through ``benchmarks/conftest.publish`` appends
+one JSONL record to ``benchmarks/results/history.jsonl``:
+
+.. code-block:: json
+
+    {"v": 1, "name": "kernel_speedup", "git_sha": "...", "ts": "...",
+     "result_digest": "sha256:...", "rows": {...}, "timing": {...},
+     "manifest": {...}}
+
+``rows`` is the benchmark's structured result (the same dict written to
+``<name>.json``), ``timing`` optional wall-clock numbers, ``manifest``
+the run's provenance manifest.  The file is append-only: re-running a
+benchmark adds a record rather than replacing one, so the trajectory of
+a metric across commits can be read straight off the file.
+
+``repro-bus bench report`` compares the **latest** record per benchmark
+name to a **baseline** (by default the previous record of the same name;
+``--against`` selects a git sha prefix or another history file) and
+evaluates declarative budgets from ``benchmarks/budgets.toml``:
+
+* ``[absolute]`` — ``"<name>.<dotted.path.into.rows>" = "<op> <value>"``
+  checks the latest value alone (``>= 50``, ``== 27``, ``== true`` ...).
+* ``[ratio]`` — ``"<name>.<dotted.path>" = <max_ratio>`` bounds
+  ``latest / baseline`` for time-like metrics; skipped (with a note)
+  when no baseline record exists, so a fresh history never fails.
+
+Budget violations exit nonzero; unresolvable budget paths are warnings
+that only fail under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+HISTORY_SCHEMA_VERSION = 1
+
+_OPS = ("==", "!=", ">=", "<=", ">", "<")
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+
+def make_record(
+    name: str,
+    rows: Optional[Dict[str, Any]],
+    manifest: Optional[Dict[str, Any]] = None,
+    timing: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One history record (JSON-ready)."""
+    return {
+        "v": HISTORY_SCHEMA_VERSION,
+        "name": name,
+        "git_sha": (manifest or {}).get("git_sha"),
+        "ts": datetime.now(timezone.utc).isoformat(),
+        "result_digest": (manifest or {}).get("result_digest"),
+        "rows": rows,
+        "timing": timing,
+        "manifest": manifest,
+    }
+
+
+def append_record(path: Union[str, Path], record: Dict[str, Any]) -> Path:
+    """Append one record to a history file (parents created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All records in file order; malformed lines are skipped."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "name" in record:
+            records.append(record)
+    return records
+
+
+def latest_per_name(
+    records: Sequence[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """The last record of each benchmark name (file order = time order)."""
+    latest: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        latest[record["name"]] = record
+    return latest
+
+
+def resolve_baselines(
+    records: Sequence[Dict[str, Any]],
+    against: Optional[str] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Baseline record per name for a comparison run.
+
+    * ``against=None`` — the second-latest record of each name (the
+      natural "previous run" baseline).
+    * ``against=<sha-prefix>`` — the latest record of each name whose
+      ``git_sha`` starts with the prefix.
+    * ``against=<path>`` — the latest record per name from that history
+      file (callers detect the file case and load it first; this
+      function only handles in-memory records and sha prefixes).
+    """
+    baselines: Dict[str, Dict[str, Any]] = {}
+    if against is None:
+        previous: Dict[str, Dict[str, Any]] = {}
+        for record in records:
+            name = record["name"]
+            if name in previous:
+                baselines[name] = previous[name]
+            previous[name] = record
+        # previous[name] is now the latest; baselines holds the one before.
+        return baselines
+    for record in records:
+        sha = record.get("git_sha") or ""
+        if sha.startswith(against):
+            baselines[record["name"]] = record
+    return baselines
+
+
+def dig(data: Any, path: str) -> Tuple[bool, Any]:
+    """Follow a dotted path into nested dicts: ``(found, value)``."""
+    current = data
+    for step in path.split("."):
+        if not isinstance(current, dict) or step not in current:
+            return False, None
+        current = current[step]
+    return True, current
+
+
+# ---------------------------------------------------------------------------
+# Budgets
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Budget:
+    """One declarative constraint from ``budgets.toml``."""
+
+    kind: str  # "absolute" | "ratio"
+    name: str  # benchmark name (first path segment)
+    path: str  # dotted path into the record's rows
+    op: str = ">="  # absolute only
+    value: Any = None  # absolute: rhs; ratio: max latest/baseline
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}.{self.path}"
+
+
+def _parse_toml_value(text: str) -> Any:
+    text = text.strip()
+    if text and text[0] in "\"'" and text[-1] == text[0] and len(text) >= 2:
+        return text[1:-1]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_budgets_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Minimal TOML-subset parser (sections of ``"key" = value`` lines).
+
+    Fallback for interpreters without :mod:`tomllib`; handles exactly the
+    shape ``budgets.toml`` uses — quoted keys, string/number/bool values,
+    ``#`` comments — nothing more.
+    """
+    sections: Dict[str, Dict[str, Any]] = {}
+    current: Optional[Dict[str, Any]] = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = sections.setdefault(line[1:-1].strip(), {})
+            continue
+        if current is None or "=" not in line:
+            continue
+        key_text, _, value_text = line.partition("=")
+        key = key_text.strip().strip("\"'")
+        comment = value_text.find(" #")
+        if comment != -1:
+            value_text = value_text[:comment]
+        current[key] = _parse_toml_value(value_text)
+    return sections
+
+
+def load_budgets(path: Union[str, Path]) -> List[Budget]:
+    """Parse ``budgets.toml`` into :class:`Budget` constraints."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        import tomllib
+
+        sections = tomllib.loads(text)
+    except ModuleNotFoundError:  # pragma: no cover - py<3.11 fallback
+        sections = _parse_budgets_text(text)
+    budgets: List[Budget] = []
+    for key, spec in sections.get("absolute", {}).items():
+        name, _, rows_path = key.partition(".")
+        if not rows_path:
+            raise ValueError(f"budget key {key!r} needs a '<name>.<path>' form")
+        spec_text = str(spec).strip()
+        for op in _OPS:
+            if spec_text.startswith(op):
+                value = _parse_toml_value(spec_text[len(op) :])
+                budgets.append(
+                    Budget("absolute", name, rows_path, op=op, value=value)
+                )
+                break
+        else:
+            raise ValueError(
+                f"budget {key!r}: {spec!r} must start with one of {_OPS}"
+            )
+    for key, max_ratio in sections.get("ratio", {}).items():
+        name, _, rows_path = key.partition(".")
+        if not rows_path:
+            raise ValueError(f"budget key {key!r} needs a '<name>.<path>' form")
+        budgets.append(
+            Budget("ratio", name, rows_path, value=float(max_ratio))
+        )
+    return budgets
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op == "==":
+        return bool(left == right)
+    if op == "!=":
+        return bool(left != right)
+    try:
+        if op == ">=":
+            return bool(left >= right)
+        if op == "<=":
+            return bool(left <= right)
+        if op == ">":
+            return bool(left > right)
+        if op == "<":
+            return bool(left < right)
+    except TypeError:
+        return False
+    raise ValueError(f"unknown operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchReport:
+    """Outcome of one ``repro-bus bench report`` evaluation."""
+
+    checks: List[Dict[str, Any]] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "checks": list(self.checks),
+            "errors": list(self.errors),
+            "warnings": list(self.warnings),
+            "notes": list(self.notes),
+            "ok": not self.errors,
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for check in self.checks:
+            status = "ok  " if check["ok"] else "FAIL"
+            lines.append(f"{status} {check['detail']}")
+        for note in self.notes:
+            lines.append(f"note {note}")
+        for warning in self.warnings:
+            lines.append(f"WARN {warning}")
+        if self.errors:
+            lines.append(f"{len(self.errors)} budget violation(s)")
+        else:
+            lines.append("all budgets met")
+        return "\n".join(lines)
+
+
+def evaluate_budgets(
+    budgets: Sequence[Budget],
+    latest: Dict[str, Dict[str, Any]],
+    baselines: Dict[str, Dict[str, Any]],
+) -> BenchReport:
+    """Check every budget against the latest (and baseline) records."""
+    report = BenchReport()
+    for budget in budgets:
+        record = latest.get(budget.name)
+        if record is None:
+            report.warnings.append(
+                f"{budget.key}: no history record for {budget.name!r}"
+            )
+            continue
+        found, value = dig(record.get("rows") or {}, budget.path)
+        if not found:
+            report.warnings.append(
+                f"{budget.key}: path not found in latest rows"
+            )
+            continue
+        if budget.kind == "absolute":
+            ok = _compare(budget.op, value, budget.value)
+            detail = (
+                f"{budget.key} = {value!r} (budget: {budget.op} "
+                f"{budget.value!r})"
+            )
+            report.checks.append(
+                {"budget": budget.key, "kind": "absolute", "ok": ok,
+                 "value": value, "detail": detail}
+            )
+            if not ok:
+                report.errors.append(detail)
+            continue
+        # ratio budgets need a baseline record with the same path.
+        baseline = baselines.get(budget.name)
+        if baseline is None:
+            report.notes.append(
+                f"{budget.key}: no baseline run, ratio check skipped"
+            )
+            continue
+        base_found, base_value = dig(baseline.get("rows") or {}, budget.path)
+        if not base_found:
+            report.warnings.append(
+                f"{budget.key}: path not found in baseline rows"
+            )
+            continue
+        try:
+            latest_f = float(value)
+            base_f = float(base_value)
+        except (TypeError, ValueError):
+            report.warnings.append(
+                f"{budget.key}: non-numeric value for ratio budget"
+            )
+            continue
+        if base_f <= 0.0:
+            report.notes.append(
+                f"{budget.key}: baseline is {base_f}, ratio check skipped"
+            )
+            continue
+        ratio = latest_f / base_f
+        ok = ratio <= float(budget.value)
+        detail = (
+            f"{budget.key} = {latest_f:.6g} vs baseline {base_f:.6g} "
+            f"(ratio {ratio:.2f}, budget <= {float(budget.value):.2f}x)"
+        )
+        report.checks.append(
+            {"budget": budget.key, "kind": "ratio", "ok": ok,
+             "ratio": ratio, "detail": detail}
+        )
+        if not ok:
+            report.errors.append(detail)
+    return report
+
+
+def run_report(
+    history_path: Union[str, Path],
+    budgets_path: Union[str, Path],
+    against: Optional[str] = None,
+) -> BenchReport:
+    """Load history + budgets, resolve baselines, evaluate.
+
+    ``against`` may be ``None`` (previous run of each name), a git sha
+    prefix, or a path to another history file.
+    """
+    records = load_history(history_path)
+    if not records:
+        report = BenchReport()
+        report.errors.append(f"no history records in {history_path}")
+        return report
+    latest = latest_per_name(records)
+    if against is not None and Path(against).exists():
+        baselines = latest_per_name(load_history(against))
+    else:
+        baselines = resolve_baselines(records, against)
+        if against is not None and not baselines:
+            report = BenchReport()
+            report.errors.append(
+                f"--against {against!r}: no matching sha in history"
+            )
+            return report
+    budgets = load_budgets(budgets_path)
+    return evaluate_budgets(budgets, latest, baselines)

@@ -27,7 +27,7 @@ import subprocess
 import sys
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.metrics import snapshot as metrics_snapshot
 
@@ -82,6 +82,7 @@ def collect_manifest(
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble one manifest dict (JSON-ready)."""
+    metrics = metrics_snapshot(counter_prefix)
     manifest: Dict[str, Any] = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "command": command,
@@ -94,7 +95,9 @@ def collect_manifest(
         "stream_length": stream_length,
         "wall_s": wall_s,
         "stages": dict(stages) if stages else {},
-        "counters": metrics_snapshot(counter_prefix)["counters"],
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
+        "histograms": metrics["histograms"],
         "result_digest": (
             digest_text(result_text) if result_text is not None else None
         ),
@@ -119,43 +122,92 @@ def write_manifest(
     return target
 
 
-def aggregate_stages(
+def charged_spans(
     events: Sequence[Dict[str, Any]],
     stage_names: Optional[Sequence[str]] = None,
-) -> Dict[str, Dict[str, float]]:
-    """Per-stage ``{"wall_s", "spans"}``, charging outermost spans only.
+) -> Iterator[Tuple[str, float, bool]]:
+    """Yield ``(name, wall_s, closed)`` for every charged span.
 
     A span is charged iff no ancestor span has a name in the aggregated
     set — so ``tracegen`` inside ``tracegen`` (a multiplexed trace
     building its instruction source) and ``count`` inside ``encode``
     count once, keeping the per-stage times additive and comparable to
     the run's total wall time.
+
+    Spans that *began but never ended* — a workload aborted mid-stage by
+    an exception or a kill, or a truncated JSONL trace — are still
+    charged: their wall time is estimated as the gap between their
+    ``span_begin`` timestamp and the last timestamp seen in the event
+    stream, and they are yielded with ``closed=False``.
     """
     names: Dict[int, str] = {}
     parents: Dict[int, Optional[int]] = {}
+    begin_ts: Dict[int, float] = {}
+    ended: set = set()
+    last_ts: Optional[float] = None
     for entry in events:
+        ts = entry.get("ts")
+        if isinstance(ts, (int, float)):
+            last_ts = ts if last_ts is None else max(last_ts, ts)
         if entry.get("type") == "span_begin":
             names[entry["id"]] = entry["name"]
             parents[entry["id"]] = entry.get("parent")
+            if isinstance(ts, (int, float)):
+                begin_ts[entry["id"]] = float(ts)
+        elif entry.get("type") == "span_end":
+            ended.add(entry.get("id"))
     stage_set = (
         set(stage_names) if stage_names is not None else set(names.values())
     )
-    stages: Dict[str, Dict[str, float]] = {}
+
+    def outermost(parent: Optional[int]) -> bool:
+        ancestor = parent
+        while ancestor is not None:
+            if names.get(ancestor) in stage_set:
+                return False
+            ancestor = parents.get(ancestor)
+        return True
+
     for entry in events:
         if entry.get("type") != "span_end" or entry["name"] not in stage_set:
             continue
-        ancestor = entry.get("parent")
-        nested = False
-        while ancestor is not None:
-            if names.get(ancestor) in stage_set:
-                nested = True
-                break
-            ancestor = parents.get(ancestor)
-        if nested:
+        if not outermost(entry.get("parent")):
             continue
-        stage = stages.setdefault(entry["name"], {"wall_s": 0.0, "spans": 0})
-        stage["wall_s"] += float(entry.get("dur_s", 0.0))
+        yield entry["name"], float(entry.get("dur_s", 0.0)), True
+    # Unclosed spans, in begin order.
+    for span_id, name in names.items():
+        if span_id in ended or name not in stage_set:
+            continue
+        if not outermost(parents.get(span_id)):
+            continue
+        started = begin_ts.get(span_id)
+        wall_s = (
+            max(0.0, last_ts - started)
+            if started is not None and last_ts is not None
+            else 0.0
+        )
+        yield name, wall_s, False
+
+
+def aggregate_stages(
+    events: Sequence[Dict[str, Any]],
+    stage_names: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-stage ``{"wall_s", "spans"}``, charging outermost spans only.
+
+    See :func:`charged_spans` for the charging rule.  Stages with spans
+    that never closed (an exception aborted the workload mid-stage, or
+    the trace was truncated) additionally carry an ``"unclosed"`` count;
+    their estimated wall time is included in ``"wall_s"`` so a crashed
+    run still accounts for where its time went.
+    """
+    stages: Dict[str, Dict[str, float]] = {}
+    for name, wall_s, closed in charged_spans(events, stage_names):
+        stage = stages.setdefault(name, {"wall_s": 0.0, "spans": 0})
+        stage["wall_s"] += wall_s
         stage["spans"] += 1
+        if not closed:
+            stage["unclosed"] = stage.get("unclosed", 0) + 1
     return stages
 
 

@@ -93,6 +93,37 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Monotone right-edge interpolation: the rank ``q * count`` is
+        located in the cumulative bucket counts and interpolated linearly
+        between the containing bucket's edges ``[2**(i-1), 2**i)``
+        (``[0, 1)`` for bucket 0), then clamped to the observed
+        ``[min, max]`` range.  The estimate is a conservative upper
+        bound within one power of two of the true quantile (a lone
+        observation is recovered exactly via the clamp), and
+        ``percentile`` is non-decreasing in ``q`` by construction.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = 0.0 if index == 0 else float(1 << (index - 1))
+                hi = float(1 << index)
+                fraction = (target - cumulative) / bucket_count
+                value = lo + (hi - lo) * max(0.0, fraction)
+                return max(self.min, min(self.max, value))
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - only if counts drifted
+
 
 class Registry:
     """Get-or-create instrument store with snapshot and in-place reset."""
@@ -151,6 +182,9 @@ class Registry:
                         "min": instrument.min,
                         "max": instrument.max,
                         "mean": instrument.mean,
+                        "p50": instrument.percentile(0.50),
+                        "p95": instrument.percentile(0.95),
+                        "p99": instrument.percentile(0.99),
                     }
                 )
         key = lambda item: (item["name"], sorted(item.get("labels", {}).items()))  # noqa: E731

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.manifest import aggregate_stages
 from repro.obs.metrics import counter_deltas, snapshot
+from repro.obs.perf import US_PER_S, span_histograms
 from repro.obs.trace import capture, validate_events
 
 #: Stage names reported per workload; anything else lands in "(other)".
@@ -35,6 +36,10 @@ class StageStat:
     name: str
     wall_s: float
     spans: int
+    unclosed: int = 0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
 
     def share(self, total_s: float) -> float:
         return self.wall_s / total_s if total_s else 0.0
@@ -51,6 +56,11 @@ class ProfileResult:
     counters: List[Dict[str, Any]]
     events: int
     schema_errors: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    #: The raw captured events, kept so the CLI can export a flame graph
+    #: (``--flame``) without re-running the workload.  Deliberately not
+    #: part of :meth:`to_dict` — traces belong in trace files.
+    captured_events: List[Dict[str, Any]] = field(default_factory=list, repr=False)
 
     @property
     def staged_s(self) -> float:
@@ -71,6 +81,10 @@ class ProfileResult:
                     "wall_s": stage.wall_s,
                     "share": stage.share(self.total_s),
                     "spans": stage.spans,
+                    "unclosed": stage.unclosed,
+                    "p50_s": stage.p50_s,
+                    "p95_s": stage.p95_s,
+                    "p99_s": stage.p99_s,
                 }
                 for stage in self.stages
             ],
@@ -78,6 +92,7 @@ class ProfileResult:
             "counters": list(self.counters),
             "events": self.events,
             "schema_errors": list(self.schema_errors),
+            "error": self.error,
         }
 
     def render(self) -> str:
@@ -86,14 +101,22 @@ class ProfileResult:
             + " ".join(f"{k}={v}" for k, v in self.params.items())
         ]
         lines.append(f"total: {self.total_s:.3f} s over {self.events} events")
+        if self.error:
+            lines.append(f"workload FAILED: {self.error}")
         width = max(
             [len("(other)")] + [len(stage.name) for stage in self.stages]
         )
-        lines.append(f"{'stage'.ljust(width)}   wall (s)   share   spans")
+        lines.append(
+            f"{'stage'.ljust(width)}   wall (s)   share   spans"
+            "   p50 (s)   p95 (s)   p99 (s)"
+        )
         for stage in self.stages:
+            suffix = f"  ~{stage.unclosed} unclosed" if stage.unclosed else ""
             lines.append(
                 f"{stage.name.ljust(width)}   {stage.wall_s:8.3f}   "
                 f"{stage.share(self.total_s):5.1%}   {stage.spans:5d}"
+                f"   {stage.p50_s:7.3f}   {stage.p95_s:7.3f}"
+                f"   {stage.p99_s:7.3f}{suffix}"
             )
         lines.append(
             f"{'(other)'.ljust(width)}   {self.other_s:8.3f}   "
@@ -121,21 +144,46 @@ def run_profile(
     params: Optional[Dict[str, Any]] = None,
     stage_names: Optional[Sequence[str]] = None,
 ) -> Tuple[Any, ProfileResult]:
-    """Run ``fn`` under tracing and return ``(fn(), breakdown)``."""
+    """Run ``fn`` under tracing and return ``(fn(), breakdown)``.
+
+    A workload that raises still produces a full breakdown: the exception
+    is recorded in :attr:`ProfileResult.error` (``value`` comes back as
+    ``None``), the stages completed before the crash keep their charged
+    time, and the stage the exception escaped from is charged through the
+    span machinery (``Span.__exit__`` emits a ``status="error"``
+    ``span_end`` on the way out, and any span left unclosed by a harder
+    abort is estimated by :func:`repro.obs.manifest.aggregate_stages`).
+    """
     if stage_names is None:
         stage_names = WORKLOAD_STAGES.get(workload)
     before = snapshot()
+    value: Any = None
+    error: Optional[str] = None
     with capture() as sink:
         started = time.perf_counter()
-        value = fn()
-        total_s = time.perf_counter() - started
+        try:
+            value = fn()
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            total_s = time.perf_counter() - started
     aggregated = aggregate_stages(sink.events, stage_names)
+    percentiles = span_histograms(sink.events, stage_names)
     order = list(stage_names) if stage_names else sorted(aggregated)
+
+    def stage_percentile(name: str, q: float) -> float:
+        histogram = percentiles.get(name)
+        return histogram.percentile(q) / US_PER_S if histogram else 0.0
+
     stages = [
         StageStat(
             name=name,
             wall_s=aggregated.get(name, {}).get("wall_s", 0.0),
             spans=int(aggregated.get(name, {}).get("spans", 0)),
+            unclosed=int(aggregated.get(name, {}).get("unclosed", 0)),
+            p50_s=stage_percentile(name, 0.50),
+            p95_s=stage_percentile(name, 0.95),
+            p99_s=stage_percentile(name, 0.99),
         )
         for name in order
     ]
@@ -147,5 +195,7 @@ def run_profile(
         counters=counter_deltas(before, snapshot()),
         events=len(sink.events),
         schema_errors=validate_events(sink.events),
+        error=error,
+        captured_events=list(sink.events),
     )
     return value, result

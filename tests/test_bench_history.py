@@ -1,0 +1,352 @@
+"""Tests for benchmark history and regression gating (repro.obs.history)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.history import (
+    append_record,
+    evaluate_budgets,
+    latest_per_name,
+    load_budgets,
+    load_history,
+    make_record,
+    resolve_baselines,
+    run_report,
+)
+
+BUDGETS_TOML = """\
+[absolute]
+"kernels.t0.speedup" = ">= 50"
+"engine.cells" = "== 27"
+"engine.byte_identical" = "== true"
+
+[ratio]
+"kernels.t0.kernel_s" = 2.0
+"""
+
+
+def _record(name, rows, sha="deadbeef"):
+    return make_record(name, rows, manifest={"git_sha": sha})
+
+
+def _write_history(path, records):
+    for record in records:
+        append_record(path, record)
+    return path
+
+
+@pytest.fixture
+def budgets_file(tmp_path):
+    target = tmp_path / "budgets.toml"
+    target.write_text(BUDGETS_TOML)
+    return target
+
+
+class TestRecords:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        record = _record("kernels", {"t0": {"speedup": 80.0}})
+        append_record(path, record)
+        loaded = load_history(path)
+        assert len(loaded) == 1
+        assert loaded[0]["name"] == "kernels"
+        assert loaded[0]["git_sha"] == "deadbeef"
+        assert loaded[0]["rows"]["t0"]["speedup"] == 80.0
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, _record("a", {}))
+        with path.open("a") as handle:
+            handle.write("{not json\n\n42\n")
+        append_record(path, _record("b", {}))
+        assert [r["name"] for r in load_history(path)] == ["a", "b"]
+
+    def test_latest_per_name_takes_last(self, tmp_path):
+        records = [
+            _record("k", {"run": 1}),
+            _record("k", {"run": 2}),
+            _record("e", {"run": 1}),
+        ]
+        latest = latest_per_name(records)
+        assert latest["k"]["rows"] == {"run": 2}
+        assert latest["e"]["rows"] == {"run": 1}
+
+
+class TestBaselines:
+    def test_default_baseline_is_previous_run(self):
+        records = [
+            _record("k", {"run": 1}),
+            _record("k", {"run": 2}),
+            _record("k", {"run": 3}),
+            _record("e", {"run": 1}),
+        ]
+        baselines = resolve_baselines(records)
+        assert baselines["k"]["rows"] == {"run": 2}
+        assert "e" not in baselines  # only one run, no baseline
+
+    def test_sha_prefix_baseline(self):
+        records = [
+            _record("k", {"run": 1}, sha="aaa111"),
+            _record("k", {"run": 2}, sha="bbb222"),
+        ]
+        baselines = resolve_baselines(records, against="aaa")
+        assert baselines["k"]["rows"] == {"run": 1}
+        assert resolve_baselines(records, against="zzz") == {}
+
+
+class TestBudgets:
+    def test_load_budgets_parses_both_kinds(self, budgets_file):
+        budgets = load_budgets(budgets_file)
+        by_key = {b.key: b for b in budgets}
+        absolute = by_key["kernels.t0.speedup"]
+        assert absolute.kind == "absolute"
+        assert absolute.op == ">="
+        assert absolute.value == 50
+        assert by_key["engine.byte_identical"].value is True
+        ratio = by_key["kernels.t0.kernel_s"]
+        assert ratio.kind == "ratio"
+        assert ratio.value == 2.0
+
+    def test_bad_operator_rejected(self, tmp_path):
+        target = tmp_path / "budgets.toml"
+        target.write_text('[absolute]\n"a.b" = "~= 3"\n')
+        with pytest.raises(ValueError):
+            load_budgets(target)
+
+    def test_fallback_parser_matches_tomllib(self, budgets_file):
+        from repro.obs.history import _parse_budgets_text
+
+        import tomllib
+
+        text = budgets_file.read_text()
+        assert _parse_budgets_text(text) == tomllib.loads(text)
+
+
+class TestEvaluate:
+    def _report(self, budgets_file, latest_rows, baseline_rows=None):
+        budgets = load_budgets(budgets_file)
+        latest = {
+            name: _record(name, rows) for name, rows in latest_rows.items()
+        }
+        baselines = {
+            name: _record(name, rows)
+            for name, rows in (baseline_rows or {}).items()
+        }
+        return evaluate_budgets(budgets, latest, baselines)
+
+    def test_all_budgets_met(self, budgets_file):
+        report = self._report(
+            budgets_file,
+            {
+                "kernels": {"t0": {"speedup": 80.0, "kernel_s": 0.5}},
+                "engine": {"cells": 27, "byte_identical": True},
+            },
+            {"kernels": {"t0": {"speedup": 78.0, "kernel_s": 0.52}}},
+        )
+        assert report.errors == []
+        assert report.exit_code(strict=True) == 0
+        assert len(report.checks) == 4
+
+    def test_absolute_violation_fails(self, budgets_file):
+        report = self._report(
+            budgets_file,
+            {
+                "kernels": {"t0": {"speedup": 12.0, "kernel_s": 0.5}},
+                "engine": {"cells": 27, "byte_identical": True},
+            },
+        )
+        assert any("kernels.t0.speedup" in e for e in report.errors)
+        assert report.exit_code() == 1
+
+    def test_injected_2x_slowdown_detected(self, budgets_file):
+        # The acceptance-criteria scenario: same result rows, but
+        # kernel_s doubled versus the baseline run -> the 2.0x ratio
+        # budget trips.
+        report = self._report(
+            budgets_file,
+            {
+                "kernels": {"t0": {"speedup": 80.0, "kernel_s": 1.1}},
+                "engine": {"cells": 27, "byte_identical": True},
+            },
+            {"kernels": {"t0": {"speedup": 80.0, "kernel_s": 0.5}}},
+        )
+        assert any("ratio" in e for e in report.errors)
+        assert report.exit_code() == 1
+
+    def test_missing_baseline_skips_ratio_without_failing(self, budgets_file):
+        report = self._report(
+            budgets_file,
+            {
+                "kernels": {"t0": {"speedup": 80.0, "kernel_s": 0.5}},
+                "engine": {"cells": 27, "byte_identical": True},
+            },
+        )
+        assert report.errors == []
+        assert report.warnings == []
+        assert any("skipped" in note for note in report.notes)
+        # --strict must still pass: a fresh history is not a regression.
+        assert report.exit_code(strict=True) == 0
+
+    def test_unresolvable_path_warns_and_strict_fails(self, budgets_file):
+        report = self._report(
+            budgets_file,
+            {
+                "kernels": {"t0": {"speedup": 80.0, "kernel_s": 0.5}},
+                "engine": {"cells": 27},  # byte_identical missing
+            },
+        )
+        assert report.errors == []
+        assert any("byte_identical" in w for w in report.warnings)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+
+class TestRunReport:
+    def _fresh_two_run_history(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        return _write_history(
+            path,
+            [
+                _record(
+                    "kernels",
+                    {"t0": {"speedup": 78.0, "kernel_s": 0.52}},
+                    sha="aaa111",
+                ),
+                _record("engine", {"cells": 27, "byte_identical": True}),
+                _record(
+                    "kernels",
+                    {"t0": {"speedup": 80.0, "kernel_s": 0.5}},
+                    sha="bbb222",
+                ),
+            ],
+        )
+
+    def test_fresh_two_run_history_passes_strict(
+        self, tmp_path, budgets_file
+    ):
+        history = self._fresh_two_run_history(tmp_path)
+        report = run_report(history, budgets_file)
+        assert report.errors == []
+        assert report.warnings == []
+        assert report.exit_code(strict=True) == 0
+
+    def test_against_file_baseline(self, tmp_path, budgets_file):
+        history = self._fresh_two_run_history(tmp_path)
+        other = _write_history(
+            tmp_path / "other.jsonl",
+            [_record("kernels", {"t0": {"speedup": 75.0, "kernel_s": 0.2}})],
+        )
+        report = run_report(history, budgets_file, against=str(other))
+        # 0.5 vs 0.2 baseline = 2.5x > 2.0x budget.
+        assert report.exit_code() == 1
+
+    def test_against_unknown_sha_errors(self, tmp_path, budgets_file):
+        history = self._fresh_two_run_history(tmp_path)
+        report = run_report(history, budgets_file, against="ffffff")
+        assert report.exit_code() == 1
+        assert any("no matching sha" in e for e in report.errors)
+
+    def test_empty_history_errors(self, tmp_path, budgets_file):
+        report = run_report(tmp_path / "none.jsonl", budgets_file)
+        assert report.exit_code() == 1
+
+
+class TestBenchCli:
+    def _history(self, tmp_path, kernel_s_latest=0.5):
+        return _write_history(
+            tmp_path / "history.jsonl",
+            [
+                _record("kernels", {"t0": {"speedup": 78.0, "kernel_s": 0.5}}),
+                _record("engine", {"cells": 27, "byte_identical": True}),
+                _record(
+                    "kernels",
+                    {"t0": {"speedup": 80.0, "kernel_s": kernel_s_latest}},
+                ),
+            ],
+        )
+
+    def _args(self, tmp_path, history, *extra):
+        budgets = tmp_path / "budgets.toml"
+        if not budgets.exists():
+            budgets.write_text(BUDGETS_TOML)
+        return [
+            "bench", "report",
+            "--history", str(history),
+            "--budgets", str(budgets),
+            *extra,
+        ]
+
+    def test_report_passes_on_healthy_history(self, tmp_path, capsys):
+        history = self._history(tmp_path)
+        assert main(self._args(tmp_path, history, "--strict")) == 0
+        assert "all budgets met" in capsys.readouterr().out
+
+    def test_report_detects_slowdown(self, tmp_path, capsys):
+        history = self._history(tmp_path, kernel_s_latest=1.1)
+        assert main(self._args(tmp_path, history)) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_report_json_shape(self, tmp_path, capsys):
+        history = self._history(tmp_path)
+        assert main(self._args(tmp_path, history, "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert {"checks", "errors", "warnings", "notes"} <= set(payload)
+
+    def test_missing_budgets_is_usage_error(self, tmp_path, capsys):
+        history = self._history(tmp_path)
+        status = main(
+            [
+                "bench", "report",
+                "--history", str(history),
+                "--budgets", str(tmp_path / "nope.toml"),
+            ]
+        )
+        assert status == 2
+        assert "no budgets file" in capsys.readouterr().err
+
+
+class TestPublishHistory:
+    def test_publish_appends_history_record(self, tmp_path, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        conftest_path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "conftest.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest", conftest_path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        publish, HISTORY_FILE = module.publish, module.HISTORY_FILE
+
+        publish(
+            tmp_path,
+            "demo",
+            "demo result",
+            rows={"metric": 1.5},
+            timing={"wall_s": 0.25},
+        )
+        capsys.readouterr()
+        records = load_history(tmp_path / HISTORY_FILE)
+        assert len(records) == 1
+        record = records[0]
+        assert record["name"] == "demo"
+        assert record["rows"] == {"metric": 1.5}
+        assert record["timing"] == {"wall_s": 0.25}
+        assert record["result_digest"] == record["manifest"]["result_digest"]
+        # The per-name JSON snapshot carries the same rows and timing.
+        snapshot = json.loads((tmp_path / "demo.json").read_text())
+        assert snapshot["rows"] == {"metric": 1.5}
+        assert snapshot["timing"] == {"wall_s": 0.25}

@@ -240,6 +240,118 @@ class TestEngineRuns:
         assert payload["in_sequence"] == in_sequence_fraction(addresses, 4)
 
 
+class TestEngineTelemetry:
+    @pytest.fixture(autouse=True)
+    def _fresh_metrics(self):
+        # Zero the process-global registry so per-run gauges and path
+        # histograms are attributable to this test's engine run alone.
+        obs_metrics.REGISTRY.reset()
+        yield
+
+    def _snapshot_by_name(self, section):
+        snap = obs_metrics.snapshot("engine.")
+        out = {}
+        for item in snap[section]:
+            key = (item["name"], tuple(sorted(item.get("labels", {}).items())))
+            out[key] = item
+        return out
+
+    def test_cell_path_per_metric(self, stream, codecs):
+        from repro.engine.cells import METRIC_POWER, cell_path
+
+        addresses, sels = stream
+        binary = make_cell(METRIC_BINARY, "b", addresses, width=32)
+        assert cell_path(binary) == "columnar"
+        codec = codecs[0]  # t0 has a columnar encode kernel
+        coded = make_cell(METRIC_CODEC, "b", addresses, sels, codec=codec)
+        assert cell_path(coded, use_kernels=True) == "kernel"
+        assert cell_path(coded, use_kernels=False) == "steppable"
+        power = make_cell(
+            METRIC_POWER, "b", addresses[:50], codec_name="t0"
+        )
+        assert cell_path(power) == "gate-sim"
+
+    def test_run_populates_path_split_and_gauges(self, stream, codecs):
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        engine = BatchEngine(jobs=1)
+        engine.run(cells, codecs=_codec_map(codecs))
+
+        gauges = self._snapshot_by_name("gauges")
+        assert ("engine.worker_utilization", ()) in gauges
+        utilization = gauges[("engine.worker_utilization", ())]["value"]
+        assert 0.0 <= utilization <= 1.0
+        assert gauges[("engine.cache.hit_rate", ())]["value"] == 0.0
+
+        histograms = self._snapshot_by_name("histograms")
+        compute = histograms[
+            ("engine.cell_compute_us", (("path", "kernel"),))
+        ]
+        assert compute["count"] >= len(codecs)
+        assert compute["p95"] >= compute["p50"] >= 0.0
+        columnar = histograms[
+            ("engine.cell_compute_us", (("path", "columnar"),))
+        ]
+        assert columnar["count"] == 1  # the binary-reference cell
+        queue = histograms[("engine.cell_queue_us", ())]
+        assert queue["count"] == len(cells)
+
+        counters = self._snapshot_by_name("counters")
+        assert ("engine.path_wall_ms", (("path", "kernel"),)) in counters
+        assert engine.stats.queue_wall_s >= 0.0
+        assert "queued" in engine.stats.summary()
+
+    def test_steppable_path_labelled_without_kernels(self, stream, codecs):
+        addresses, sels = stream
+        cells = comparison_cells(
+            codecs, addresses[:120], sels[:120], benchmark="b"
+        )
+        BatchEngine(jobs=1, use_kernels=False).run(
+            cells, codecs=_codec_map(codecs)
+        )
+        histograms = self._snapshot_by_name("histograms")
+        steppable = histograms[
+            ("engine.cell_compute_us", (("path", "steppable"),))
+        ]
+        assert steppable["count"] >= len(codecs)
+
+    def test_warm_run_reports_full_hit_rate(self, tmp_path, stream, codecs):
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        BatchEngine(jobs=1, cache_dir=tmp_path).run(
+            cells, codecs=_codec_map(codecs)
+        )
+        BatchEngine(jobs=1, cache_dir=tmp_path).run(
+            cells, codecs=_codec_map(codecs)
+        )
+        gauges = self._snapshot_by_name("gauges")
+        assert gauges[("engine.cache.hit_rate", ())]["value"] == 1.0
+
+    def test_manifest_carries_gauges_and_histograms(self, stream, codecs):
+        from repro.obs.manifest import collect_manifest
+
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        BatchEngine(jobs=1).run(cells, codecs=_codec_map(codecs))
+        manifest = collect_manifest(command="pytest-engine-telemetry")
+        gauge_names = {item["name"] for item in manifest["gauges"]}
+        assert "engine.worker_utilization" in gauge_names
+        assert "engine.cache.hit_rate" in gauge_names
+        histogram_names = {item["name"] for item in manifest["histograms"]}
+        assert "engine.cell_compute_us" in histogram_names
+        assert "engine.cell_queue_us" in histogram_names
+
+    def test_queue_wait_measured_under_worker_pool(self, stream, codecs):
+        addresses, sels = stream
+        cells = comparison_cells(codecs, addresses, sels, benchmark="b")
+        engine = BatchEngine(jobs=2)
+        reference = BatchEngine(jobs=1).run(cells, codecs=_codec_map(codecs))
+        payloads = engine.run(cells, codecs=_codec_map(codecs))
+        # Telemetry must never leak into payloads (cache bit-identity).
+        assert payloads == reference
+        assert engine.stats.queue_wall_s >= 0.0
+
+
 class TestEnginePowerCells:
     def test_power_runs_match_sequential(self):
         from repro.experiments.power_tables import simulate_codecs

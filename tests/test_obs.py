@@ -274,6 +274,42 @@ class TestAggregation:
         agg = aggregate_stages(events, ["encode"])
         assert agg["encode"]["wall_s"] == pytest.approx(1.0)
 
+    def test_unclosed_span_charged_with_estimate(self):
+        # A truncated trace (begin at ts=2.0, never ended, last event at
+        # ts=5.0) still charges the stage, flagged as unclosed.
+        events = self._events([("tracegen", 1, None, 2.0)])
+        events.append(
+            {
+                "v": 1,
+                "ts": 2.0,
+                "type": "span_begin",
+                "name": "encode",
+                "id": 2,
+                "parent": None,
+                "fields": {},
+            }
+        )
+        events.append(
+            {"v": 1, "ts": 5.0, "type": "event", "name": "tick", "fields": {}}
+        )
+        agg = aggregate_stages(events, ["tracegen", "encode"])
+        assert agg["tracegen"]["wall_s"] == pytest.approx(2.0)
+        assert "unclosed" not in agg["tracegen"]
+        assert agg["encode"]["wall_s"] == pytest.approx(3.0)  # 5.0 - 2.0
+        assert agg["encode"]["spans"] == 1
+        assert agg["encode"]["unclosed"] == 1
+
+    def test_error_status_span_still_charged(self):
+        # Span.__exit__ emits span_end with status="error" when the body
+        # raises; the stage accounting must charge it like any other.
+        events = self._events([("encode", 1, None, 1.5)])
+        for entry in events:
+            if entry["type"] == "span_end":
+                entry["status"] = "error"
+        agg = aggregate_stages(events, ["encode"])
+        assert agg["encode"]["wall_s"] == pytest.approx(1.5)
+        assert agg["encode"]["spans"] == 1
+
     def test_real_pipeline_stage_sum_close_to_total(self):
         from repro.experiments import table4
 
@@ -416,8 +452,149 @@ class TestProfileRunner:
             "counters",
             "events",
             "schema_errors",
+            "error",
         }
         json.dumps(data)  # must be serializable
+
+    def test_workload_that_raises_mid_stage_is_still_charged(self):
+        """Regression: an exception escaping a stage span must not lose
+        the time of the stages that ran (ISSUE 9, satellite 3)."""
+
+        def workload():
+            with span("tracegen"):
+                time.sleep(0.01)
+            with span("encode"):
+                time.sleep(0.005)
+                raise RuntimeError("boom mid-encode")
+
+        value, result = run_profile("table", workload)
+        assert value is None
+        assert result.error == "RuntimeError: boom mid-encode"
+        by_name = {s.name: s for s in result.stages}
+        assert by_name["tracegen"].wall_s >= 0.01
+        assert by_name["tracegen"].spans == 1
+        # The stage the exception escaped from is charged too.
+        assert by_name["encode"].wall_s >= 0.005
+        assert by_name["encode"].spans == 1
+        rendered = result.render()
+        assert "workload FAILED: RuntimeError: boom mid-encode" in rendered
+        assert result.to_dict()["error"] == "RuntimeError: boom mid-encode"
+
+
+class TestReplayEdgeCases:
+    def test_replay_of_empty_trace_file_is_noop(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        events = list(load_jsonl(empty))
+        assert events == []
+        with capture() as sink:
+            obs_trace.replay_events(events)
+        assert sink.events == []
+
+    def test_replay_while_disabled_is_noop(self):
+        assert not enabled()
+        # Must not raise and must not resurrect any sink.
+        obs_trace.replay_events(
+            [{"v": 1, "ts": 0.0, "type": "event", "name": "x", "fields": {}}]
+        )
+        assert not enabled()
+
+    def test_orphaned_child_reparented_to_current_span(self):
+        # A child whose parent id never appears in the replayed stream
+        # (e.g. the trace was truncated at a chunk boundary) is adopted
+        # by the caller's current span instead of dangling.
+        orphan = [
+            {
+                "v": 1,
+                "ts": 0.0,
+                "type": "span_begin",
+                "name": "lost-child",
+                "id": 99,
+                "parent": 12345,  # never defined in this stream
+                "fields": {},
+            },
+            {
+                "v": 1,
+                "ts": 1.0,
+                "type": "span_end",
+                "name": "lost-child",
+                "id": 99,
+                "parent": 12345,
+                "fields": {},
+                "dur_s": 1.0,
+                "status": "ok",
+            },
+        ]
+        with capture() as sink:
+            with span("host") as host_span:
+                obs_trace.replay_events(orphan)
+                host_id = host_span.span_id
+        replayed = [e for e in sink.events if e["name"] == "lost-child"]
+        assert len(replayed) == 2
+        assert all(e["parent"] == host_id for e in replayed)
+        # Ids are remapped, never reused verbatim.
+        assert all(e["id"] != 99 for e in replayed)
+
+    def test_replayed_ids_do_not_collide_across_workers(self):
+        # Two workers both allocated span id 1; the merged trace must
+        # keep them distinct.
+        def worker_events(name):
+            return [
+                {
+                    "v": 1,
+                    "ts": 0.0,
+                    "type": "span_begin",
+                    "name": name,
+                    "id": 1,
+                    "parent": None,
+                    "fields": {},
+                }
+            ]
+
+        with capture() as sink:
+            obs_trace.replay_events(worker_events("w1"))
+            obs_trace.replay_events(worker_events("w2"))
+        ids = [e["id"] for e in sink.events]
+        assert len(set(ids)) == 2
+
+    def test_counter_deltas_across_reset(self):
+        registry = Registry()
+        registry.counter("work.items").inc(10)
+        before = registry.snapshot()
+        registry.reset()
+        registry.counter("work.items").inc(3)
+        deltas = counter_deltas(before, registry.snapshot())
+        # Reset zeroed the instrument, so the delta is negative — the
+        # caller sees exactly what happened rather than a silent clamp.
+        assert deltas == [{"name": "work.items", "value": -7}]
+        # And a fresh baseline after reset behaves normally.
+        after_reset = registry.snapshot()
+        registry.counter("work.items").inc(5)
+        assert counter_deltas(after_reset, registry.snapshot()) == [
+            {"name": "work.items", "value": 5}
+        ]
+
+
+class TestDeterministicViewEdgeCases:
+    def test_missing_fields_surface_as_none(self):
+        # A hand-rolled or truncated manifest still yields a view with
+        # every declared field, so == comparisons never KeyError.
+        view = deterministic_view({"command": "table"})
+        assert set(view) == set(DETERMINISTIC_FIELDS)
+        assert view["command"] == "table"
+        assert view["result_digest"] is None
+        assert view["seed"] is None
+
+    def test_extra_fields_are_ignored(self):
+        manifest = collect_manifest(command="x", result_text="out")
+        manifest["wall_s"] = 123.0
+        manifest["custom"] = {"noise": True}
+        view = deterministic_view(manifest)
+        assert "custom" not in view
+        assert "wall_s" not in view
+
+    def test_empty_manifest_view_is_stable(self):
+        assert deterministic_view({}) == deterministic_view({})
 
 
 class TestSinks:
