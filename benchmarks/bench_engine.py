@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import time
 
-from repro.engine import BatchEngine
+from repro.engine import ExecutionConfig
 from repro.experiments import table2
 
 from benchmarks.conftest import publish
@@ -31,17 +31,18 @@ def test_engine_speedup_table2(results_dir, benchmark, tmp_path):
 
     cache = tmp_path / "cache"
     cold_text, cold_s = _timed(
-        lambda: table2(engine=BatchEngine(jobs=4, cache_dir=cache))
+        lambda: table2(config=ExecutionConfig(jobs=4, cache_dir=cache))
     )
-    warm_engine = BatchEngine(jobs=4, cache_dir=cache)
-    warm_text, warm_s = _timed(lambda: table2(engine=warm_engine))
+    warm_config = ExecutionConfig(jobs=4, cache_dir=cache)
+    warm_text, warm_s = _timed(lambda: table2(config=warm_config))
+    warm_stats = warm_config.engine().stats
 
     # Byte-identical output in every configuration.
     assert cold_text == sequential_text
     assert warm_text == sequential_text
     # The warm run served everything from cache: zero encode work.
-    assert warm_engine.stats.hits == warm_engine.stats.cells == 27
-    assert warm_engine.stats.misses == 0
+    assert warm_stats.hits == warm_stats.cells == 27
+    assert warm_stats.misses == 0
 
     speedup_warm = sequential_s / warm_s
     assert speedup_warm >= 2.0, (
@@ -51,7 +52,7 @@ def test_engine_speedup_table2(results_dir, benchmark, tmp_path):
 
     rows = {
         "workload": "table2 (nine calibrated instruction streams)",
-        "cells": warm_engine.stats.cells,
+        "cells": warm_stats.cells,
         "jobs": 4,
         "sequential_s": round(sequential_s, 4),
         "engine_cold_s": round(cold_s, 4),
@@ -69,7 +70,7 @@ def test_engine_speedup_table2(results_dir, benchmark, tmp_path):
 
     # Timed unit: one fully warm engine regeneration of Table 2.
     def workload():
-        return table2(engine=BatchEngine(jobs=4, cache_dir=cache))
+        return table2(config=ExecutionConfig(jobs=4, cache_dir=cache))
 
     table = benchmark(workload)
     assert table.render() == sequential_text

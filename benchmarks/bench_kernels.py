@@ -25,7 +25,7 @@ import time
 import numpy as np
 
 from repro.core import kernels, make_codec
-from repro.engine import BatchEngine
+from repro.engine import ExecutionConfig
 from repro.engine.cells import DEFAULT_CHUNK_SIZE, chunked_encode
 from repro.experiments import table2
 from repro.metrics.fast import count_transitions_fast, pack_words
@@ -111,8 +111,8 @@ def test_kernel_speedup_and_bit_identity(results_dir, benchmark):
 
     # Table 2 must render byte-identically on every path.
     sequential = table2().render()
-    with_kernels = table2(engine=BatchEngine(jobs=1)).render()
-    without = table2(engine=BatchEngine(jobs=1, use_kernels=False)).render()
+    with_kernels = table2(config=ExecutionConfig(jobs=1)).render()
+    without = table2(config=ExecutionConfig(jobs=1, kernels=False)).render()
     assert with_kernels == sequential
     assert without == sequential
     rows["table2_byte_identical"] = True

@@ -70,6 +70,10 @@ engine_smoke() {
 }
 run_step "engine smoke (tables 2 --jobs 2)" engine_smoke
 
+# The evaluation service must serve byte-identical rows, coalesce
+# duplicate jobs with zero new encode work, and shut down cleanly.
+run_step "service smoke (repro-bus serve)" python scripts/service_smoke.py
+
 # The columnar kernels must stay bit-identical to the reference path
 # and keep clearing the cold-encode speedup floor.
 if python -c "import pytest_benchmark" >/dev/null 2>&1; then

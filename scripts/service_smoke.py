@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""End-to-end smoke for the codec-evaluation service.
+
+Starts ``repro-bus serve`` as a real subprocess, then checks the three
+contracts CI cares about:
+
+1. **byte identity** — Table 2 rebuilt from served payloads must equal
+   the ``repro-bus tables 2`` stdout exactly;
+2. **dedupe** — resubmitting a served job coalesces (``deduped: true``,
+   same job id) and moves no ``core.*`` encode counters;
+3. **clean shutdown** — ``POST /v1/shutdown`` ends the process with
+   exit code 0.
+
+Run it from the repo root: ``python scripts/service_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service import SCHEMA_VERSION, ServiceClient, table_text_via_service  # noqa: E402
+
+TABLE_LENGTH = 400
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def encode_counters(client: ServiceClient) -> int:
+    snapshot = client.metrics()["metrics"]
+    return sum(
+        entry["value"]
+        for entry in snapshot["counters"]
+        if entry["name"] in ("core.encoded_words", "core.kernel_words")
+    )
+
+
+def main() -> int:
+    port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cache = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            str(port),
+            "--jobs",
+            "2",
+            "--cache",
+            cache,
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=30)
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                client.health()
+                break
+            except OSError:
+                if server.poll() is not None or time.monotonic() > deadline:
+                    print("FAIL: service never came up", file=sys.stderr)
+                    return 1
+                time.sleep(0.2)
+
+        # 1. byte identity against the CLI
+        served = table_text_via_service(client, 2, length=TABLE_LENGTH)
+        cli = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "tables",
+                "2",
+                "--length",
+                str(TABLE_LENGTH),
+                "--no-cache",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        if served != cli.stdout:
+            print("FAIL: served table differs from CLI stdout", file=sys.stderr)
+            return 1
+        print("ok: served Table 2 is byte-identical to `repro-bus tables 2`")
+
+        # 2. duplicate submission: coalesced, zero new encode work
+        digest = client.submit_trace(list(range(0, 1024, 4)))
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "codecs": [{"name": "t0", "params": {"stride": 4}}],
+            "metrics": ["codec-transitions"],
+            "benchmark": "smoke",
+            "trace_digest": digest,
+        }
+        first = client.evaluate(payload)
+        before = encode_counters(client)
+        payload["benchmark"] = "smoke-other-client"  # label must not matter
+        again = client.submit_job(payload)
+        if not again["deduped"] or again["job_id"] != first["job_id"]:
+            print("FAIL: duplicate submission did not coalesce", file=sys.stderr)
+            return 1
+        if encode_counters(client) != before:
+            print("FAIL: duplicate submission caused encode work", file=sys.stderr)
+            return 1
+        print("ok: duplicate job coalesced with zero new encode work")
+
+        # 3. clean shutdown
+        client.shutdown()
+        code = server.wait(timeout=30)
+        if code != 0:
+            print(f"FAIL: server exited {code}", file=sys.stderr)
+            print(server.stderr.read()[-2000:], file=sys.stderr)
+            return 1
+        print("ok: clean shutdown (exit 0)")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

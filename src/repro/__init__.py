@@ -38,7 +38,6 @@ from repro.core import (
     decode_stream,
     encode_stream,
     make_codec,
-    roundtrip_stream,  # repro: noqa SA011 - deprecated public re-export
     verify_roundtrip,
 )
 from repro.metrics import (
@@ -67,7 +66,6 @@ __all__ = [
     "encode_stream",
     "in_sequence_fraction",
     "make_codec",
-    "roundtrip_stream",
     "stream_statistics",
     "verify_roundtrip",
     "__version__",

@@ -63,7 +63,10 @@ def default_config() -> ProjectConfig:
             "repro.obs.manifest.deterministic_view",
             "repro.obs.manifest.digest_text",
         ),
-        deprecated_apis=(("roundtrip_stream", "verify_roundtrip"),),
+        # No deprecated internal APIs at present (the roundtrip_stream →
+        # verify_roundtrip migration completed); SA011 stays available
+        # for the next rename.
+        deprecated_apis=(),
         registry_modules=("repro.core.registry",),
         specs_module="repro.analysis.formal.specs",
         contracts_module="repro.analysis.contracts",

@@ -28,8 +28,8 @@ SA009     error     iteration over a set feeding cache keys/manifests
                     without ``sorted()`` — order varies per process
 SA010     error     ``id()``/``hash()`` feeding cache keys/manifests —
                     values vary per process (PYTHONHASHSEED, allocator)
-SA011     error     use of a deprecated internal API (``roundtrip_stream``
-                    and friends) — migrate to the replacement
+SA011     error     use of a deprecated internal API (configured per
+                    project) — migrate to the replacement
 SA012     error     registered codec has no word-level formal spec
                     (``SPEC_BUILDERS``) — ``repro-bus prove`` cannot close
                     over it

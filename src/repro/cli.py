@@ -5,6 +5,9 @@ Subcommands
 
 * ``list-codecs``            — registered bus codes
 * ``table N``                — regenerate paper table N (1–9)
+* ``serve``                  — run the codec-evaluation service: an
+                               HTTP/JSON API over the sharded engine
+                               with dedupe and backpressure
 * ``analyze``                — compare codes on a benchmark stream or file
 * ``generate``               — write a synthetic benchmark trace to a file
 * ``kernel NAME``            — run a CPU kernel and summarize its traces
@@ -73,12 +76,49 @@ def _usage_error(command: str, message: str) -> int:
     return 2
 
 
+def _execution_config(args: argparse.Namespace) -> Any:
+    """Build the :class:`~repro.engine.ExecutionConfig` the shared
+    execution flags (``--jobs``/``--cache``/…) describe.
+
+    Callers validate the flag values first (via :func:`_usage_error`) so
+    the CLI's bad-argument contract — one stderr line, exit 2 — holds.
+    """
+    from repro.engine import ExecutionConfig
+
+    return ExecutionConfig(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache,
+        kernels=not args.no_kernels,
+        chunk_size=args.chunk_size,
+        refresh=args.refresh,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+
+
+def _validate_execution_flags(
+    command: str, args: argparse.Namespace
+) -> Optional[int]:
+    """The shared execution-flag checks; an exit code on failure."""
+    if args.jobs <= 0:
+        return _usage_error(command, f"--jobs must be positive, got {args.jobs}")
+    if args.chunk_size <= 0:
+        return _usage_error(
+            command, f"--chunk-size must be positive, got {args.chunk_size}"
+        )
+    if args.cache_max_bytes is not None and args.cache_max_bytes <= 0:
+        return _usage_error(
+            command,
+            f"--cache-max-bytes must be positive, got {args.cache_max_bytes}",
+        )
+    return None
+
+
 def _print_table(
-    number: int, length: int, width: int, engine: Optional[Any] = None
+    number: int, length: int, width: int, config: Optional[Any] = None
 ) -> None:
     """Print one paper table — the shared body of ``table`` and ``tables``.
 
-    The output is identical with and without an engine; that equivalence
+    The output is identical with and without a config; that equivalence
     is what lets ``tables --jobs N`` be diffed byte-for-byte against the
     sequential ``table N`` (the CI smoke gate does exactly this).
     """
@@ -88,12 +128,12 @@ def _print_table(
         print(experiments.table1_text(width=width))
         return
     if 2 <= number <= 7:
-        table = experiments.TABLE_BUILDERS[number](length, engine=engine)
+        table = experiments.TABLE_BUILDERS[number](length, config=config)
         print(table.render())
         print()
         print(experiments.compare_with_paper(number, table))
         return
-    runs = experiments.simulate_codecs(length=length or 1500, engine=engine)
+    runs = experiments.simulate_codecs(length=length or 1500, config=config)
     if number == 8:
         print(experiments.render_table8(experiments.table8(runs)))
     else:
@@ -119,8 +159,6 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
-    from repro.engine import BatchEngine
-
     numbers = args.numbers or list(range(2, 8))
     bad = [n for n in numbers if not 1 <= n <= 9]
     if bad:
@@ -129,28 +167,49 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             f"no such table(s): {', '.join(map(str, bad))} "
             "(paper tables are 1-9)",
         )
-    if args.jobs <= 0:
-        return _usage_error("tables", f"--jobs must be positive, got {args.jobs}")
+    failed = _validate_execution_flags("tables", args)
+    if failed is not None:
+        return failed
     if args.length < 0:
         return _usage_error(
             "tables", f"--length must be non-negative, got {args.length}"
         )
-    if args.chunk_size <= 0:
-        return _usage_error(
-            "tables", f"--chunk-size must be positive, got {args.chunk_size}"
-        )
-    engine = BatchEngine(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache,
-        chunk_size=args.chunk_size,
-        refresh=args.refresh,
-        use_kernels=not args.no_kernels,
-    )
+    config = _execution_config(args)
     for position, number in enumerate(numbers):
         if position:
             print()
-        _print_table(number, args.length, args.width, engine=engine)
-    print(f"engine: {engine.stats.summary()}", file=sys.stderr)
+        _print_table(number, args.length, args.width, config=config)
+    print(f"engine: {config.engine().stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    failed = _validate_execution_flags("serve", args)
+    if failed is not None:
+        return failed
+    if args.max_pending <= 0:
+        return _usage_error(
+            "serve", f"--max-pending must be positive, got {args.max_pending}"
+        )
+    import asyncio
+
+    from repro.service import TraceCorpus, run_server
+
+    config = _execution_config(args)
+    corpus = TraceCorpus(args.corpus) if args.corpus else TraceCorpus()
+    try:
+        asyncio.run(
+            run_server(
+                host=args.host,
+                port=args.port,
+                config=config,
+                corpus=corpus,
+                max_pending=args.max_pending,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    print(f"engine: {config.engine().stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -752,8 +811,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON run manifest (git sha, stages, result digest)",
     )
 
+    # Execution flags shared by every engine-backed subcommand (tables,
+    # serve) — they populate one repro.engine.ExecutionConfig.
+    exec_parent = argparse.ArgumentParser(add_help=False)
+    exec_group = exec_parent.add_argument_group("execution")
+    exec_group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cell execution (default 1: in-process)",
+    )
+    exec_group.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=".repro-cache",
+        help="result cache directory (default .repro-cache)",
+    )
+    exec_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
+    )
+    exec_group.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every cell and overwrite its cache entry",
+    )
+    exec_group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        help="addresses per steppable-API chunk inside each worker",
+    )
+    exec_group.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help=(
+            "force the per-cycle steppable reference path instead of the "
+            "columnar numpy kernels (output is identical; see docs/kernels.md)"
+        ),
+    )
+    exec_group.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "LRU-evict cache entries past this total size "
+            "(default: unbounded)"
+        ),
+    )
+
     def add_command(name: str, **kwargs: Any) -> argparse.ArgumentParser:
-        return sub.add_parser(name, parents=[obs_parent], **kwargs)
+        parents = [obs_parent] + kwargs.pop("extra_parents", [])
+        return sub.add_parser(name, parents=parents, **kwargs)
 
     add_command("list-codecs", help="list registered bus codes").set_defaults(
         func=_cmd_list_codecs
@@ -768,6 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables = add_command(
         "tables",
         help="regenerate paper tables through the batch engine",
+        extra_parents=[exec_parent],
         description=(
             "Regenerate one or more paper tables via repro.engine: the "
             "(trace, codec, metric) cells fan out over a worker pool "
@@ -784,46 +896,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper tables to regenerate (default: 2-7)",
     )
     p_tables.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for cell execution (default 1: in-process)",
-    )
-    p_tables.add_argument(
-        "--cache",
-        metavar="DIR",
-        default=".repro-cache",
-        help="result cache directory (default .repro-cache)",
-    )
-    p_tables.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the result cache for this run",
-    )
-    p_tables.add_argument(
-        "--refresh",
-        action="store_true",
-        help="recompute every cell and overwrite its cache entry",
-    )
-    p_tables.add_argument(
-        "--chunk-size",
-        type=int,
-        default=4096,
-        help="addresses per steppable-API chunk inside each worker",
-    )
-    p_tables.add_argument(
-        "--no-kernels",
-        action="store_true",
-        help=(
-            "force the per-cycle steppable reference path instead of the "
-            "columnar numpy kernels (output is identical; see docs/kernels.md)"
-        ),
-    )
-    p_tables.add_argument(
         "--length", type=int, default=0, help="stream length override"
     )
     p_tables.add_argument("--width", type=int, default=32)
     p_tables.set_defaults(func=_cmd_tables)
+
+    p_serve = add_command(
+        "serve",
+        help="run the codec-evaluation service (HTTP/JSON)",
+        extra_parents=[exec_parent],
+        description=(
+            "Serve codec evaluations over a minimal HTTP/JSON API: clients "
+            "POST traces (inline or by sha256 digest) to /v1/jobs, the "
+            "service shards the cells across the batch engine, dedupes "
+            "identical in-flight work, and serves deterministic results "
+            "plus per-job manifests.  See docs/service.md."
+        ),
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (default 8765)"
+    )
+    p_serve.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="trace corpus directory (default: in-memory, inline traces only)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="queue high-water mark before new jobs get 429 (default 64)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_analyze = add_command("analyze", help="compare codes on a stream")
     p_analyze.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gzip")

@@ -15,7 +15,6 @@ from repro.core.base import (
     SteppableStateMixin,
     decode_stream,
     encode_stream,
-    roundtrip_stream,  # repro: noqa SA011 - deprecated public re-export
     verify_roundtrip,
 )
 from repro.core.beach import BeachCode, BeachDecoder, BeachEncoder, train_beach_code
@@ -95,7 +94,6 @@ __all__ = [
     "mask",
     "popcount",
     "register_codec",
-    "roundtrip_stream",
     "train_beach_code",
     "verify_roundtrip",
 ]

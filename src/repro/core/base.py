@@ -33,7 +33,6 @@ simply do not read it.
 from __future__ import annotations
 
 import abc
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -442,21 +441,6 @@ def verify_roundtrip(
         if expected != actual:
             raise RoundTripError(codec.name, index, expected, actual)
     return words
-
-
-def roundtrip_stream(
-    codec: Codec,
-    addresses: Sequence[int],
-    sels: Optional[Sequence[int]] = None,
-) -> List[EncodedWord]:
-    """Deprecated alias of :func:`verify_roundtrip` (renamed in the steppable
-    API redesign — see ``docs/engine.md`` for the migration note)."""
-    warnings.warn(
-        "roundtrip_stream() is deprecated; use verify_roundtrip()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return verify_roundtrip(codec, addresses, sels)
 
 
 class RoundTripError(AssertionError):

@@ -20,6 +20,7 @@ from repro.engine.cells import (
     report_to_payload,
     row_from_results,
 )
+from repro.engine.config import ExecutionConfig
 from repro.engine.runner import BatchEngine, EngineStats
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "Cell",
     "DEFAULT_CHUNK_SIZE",
     "EngineStats",
+    "ExecutionConfig",
     "METRIC_BINARY",
     "METRIC_CODEC",
     "METRIC_POWER",

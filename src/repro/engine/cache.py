@@ -18,6 +18,21 @@ Entries are sharded two hex characters deep (``ab/abcdef….json``) and
 written atomically (temp file + ``os.replace``), so a cache directory can
 be shared between concurrent runs; a corrupt or truncated entry reads as
 a miss, never as an error.
+
+Concurrency and eviction (the long-running-service hardening):
+
+* atomic rename already guarantees readers never observe a torn entry —
+  a reader sees either a complete previous value or a complete new one;
+* :meth:`ResultCache.lock` adds **per-key in-flight locks** (``flock`` on
+  a ``.lock`` sidecar) so cooperating *processes* can serialize the
+  compute-then-put window, and :meth:`ResultCache.get_or_compute` wraps
+  the whole probe → lock → re-probe → compute → put dance: under N
+  contending processes exactly one computes, the rest re-probe and hit;
+* ``max_bytes`` turns the cache into an LRU: :meth:`ResultCache.get`
+  touches the entry's mtime on every hit, and :meth:`ResultCache.sweep`
+  deletes least-recently-used entries until the directory fits the
+  budget (``put`` triggers a sweep periodically so a service that runs
+  for weeks cannot fill the disk).
 """
 
 from __future__ import annotations
@@ -27,9 +42,15 @@ import json
 import os
 import sys
 import tempfile
+from contextlib import contextmanager
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -152,30 +173,61 @@ def cell_key(cell: Cell, version: str) -> str:
     return digest.hexdigest()
 
 
-class ResultCache:
-    """Directory-backed key → JSON payload store."""
+#: ``put`` calls between automatic LRU sweeps (when ``max_bytes`` is set).
+_SWEEP_EVERY = 32
 
-    def __init__(self, root: Union[str, Path]) -> None:
+
+class ResultCache:
+    """Directory-backed key → JSON payload store.
+
+    ``max_bytes`` bounds the total entry size: when set, the cache
+    behaves as an LRU (hits refresh an entry's mtime; :meth:`sweep`
+    evicts the stalest entries past the budget, and runs automatically
+    every :data:`_SWEEP_EVERY` puts).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._puts_since_sweep = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload, or None on miss (corrupt entries miss too)."""
+        path = self._path(key)
         try:
-            raw = self._path(key).read_text(encoding="utf-8")
+            raw = path.read_text(encoding="utf-8")
             entry = json.loads(raw)
         except (OSError, ValueError):
             return None
         if not isinstance(entry, dict) or entry.get("key") != key:
             return None
         payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            return None
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)  # refresh LRU position
+            except OSError:  # pragma: no cover - entry evicted mid-read
+                pass
+        return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Store atomically; concurrent writers of the same key are safe."""
+        """Store atomically; concurrent writers of the same key are safe.
+
+        The temp-file + ``os.replace`` scheme means a reader racing any
+        number of same-key writers observes either a complete old entry
+        or a complete new one, never a torn mix — the property the
+        multiprocess stress test in ``tests/test_cache_concurrency.py``
+        hammers on.
+        """
         target = self._path(key)
         target.parent.mkdir(parents=True, exist_ok=True)
         body = json.dumps({"key": key, "payload": payload}, sort_keys=True)
@@ -192,6 +244,101 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._puts_since_sweep += 1
+            if self._puts_since_sweep >= _SWEEP_EVERY:
+                self.sweep()
+
+    # -- per-key in-flight locking -------------------------------------
+
+    @contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Serialize cooperating processes working on one key.
+
+        A blocking ``flock`` on a ``.lock`` sidecar next to the entry.
+        Purely advisory: ``get``/``put`` never require it (atomic rename
+        keeps them safe); the lock exists so concurrent *computations*
+        of the same key can be collapsed — see :meth:`get_or_compute`.
+        On platforms without ``fcntl`` the lock degrades to a no-op.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = self.root / key[:2] / f"{key}.lock"
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            # Releasing before closing is implicit in close(); the lock
+            # file itself is left in place (tiny, reused by the next
+            # contender — unlinking it would race a concurrent open).
+            os.close(handle)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Serve ``key`` from the cache, computing it at most once.
+
+        Probe, then take the per-key lock and re-probe before computing:
+        of N processes racing the same cold key, one computes and puts
+        while the rest block on the lock and then hit the fresh entry.
+        """
+        hit = self.get(key)
+        if hit is not None:
+            return hit
+        with self.lock(key):
+            hit = self.get(key)
+            if hit is not None:
+                return hit
+            payload = compute()
+            self.put(key, payload)
+            return payload
+
+    # -- size accounting and LRU eviction ------------------------------
+
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """Every entry as ``(mtime, size, path)`` (lock files excluded)."""
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # entry evicted by a concurrent sweep
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def size_bytes(self) -> int:
+        """Total bytes of stored entries."""
+        return sum(size for _, size, _ in self._entries())
+
+    def sweep(self) -> int:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Returns the number of entries removed.  A no-op when no budget
+        is set.  Concurrent sweeps are safe: a missing file is simply
+        skipped (some other process already evicted it).
+        """
+        self._puts_since_sweep = 0
+        if self.max_bytes is None:
+            return 0
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        # Oldest mtime first == least recently used first (get() touches).
+        for _, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            total -= size
+            evicted += 1
+        return evicted
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,113 @@
+"""Unified execution configuration: one object instead of kwarg sprawl.
+
+Before this module, every layer that could use the batch engine grew its
+own knobs — ``compare_codecs(engine=, use_kernels=)``, the table builders'
+``engine=``, and the CLI's ``--jobs/--cache/--refresh/--chunk-size``
+quartet — which meant a front end (the evaluation service, a notebook, a
+script) had to understand the whole stack to configure any of it.
+
+:class:`ExecutionConfig` collapses that surface: it names the four
+execution decisions a caller can make (worker count, cache directory,
+kernel routing, chunk size) plus the two cache policies (refresh,
+max-bytes eviction), validates them once, and builds the
+:class:`~repro.engine.runner.BatchEngine` they imply.  The engine is
+memoized per config object, so threading **one** config through a whole
+run — every table, every row — shares one engine, one cache handle and
+one cumulative :class:`~repro.engine.runner.EngineStats`, exactly like
+the old pattern of passing a live engine around, without exposing the
+engine type to callers.
+
+The evaluation service (:mod:`repro.service`) constructs its engine from
+the same object, so ``repro-bus serve`` and ``repro-bus tables`` are
+configured by the same flags and produce byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.cells import DEFAULT_CHUNK_SIZE
+from repro.engine.runner import BatchEngine
+
+
+@dataclass
+class ExecutionConfig:
+    """How cell batches execute: workers, cache, kernels, chunking.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` computes in-process (no fork).
+    cache_dir:
+        Result cache directory, or None to disable caching.
+    kernels:
+        Route codec-transitions cells through the columnar numpy kernels
+        where one exists; ``False`` forces the steppable reference path
+        (output is bit-identical either way).
+    chunk_size:
+        Addresses per steppable-API chunk inside each worker.
+    refresh:
+        Recompute every cell and overwrite its cache entry.
+    cache_max_bytes:
+        Cache size budget; when set, :meth:`ResultCache.sweep` evicts
+        least-recently-used entries past it.  None means unbounded.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    kernels: bool = True
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    refresh: bool = False
+    cache_max_bytes: Optional[int] = None
+    _engine: Optional[BatchEngine] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ValueError(
+                f"cache_max_bytes must be positive, got {self.cache_max_bytes}"
+            )
+
+    def engine(self) -> BatchEngine:
+        """The (memoized) engine this configuration describes.
+
+        Every call on the same config object returns the same engine, so
+        stats accumulate and the cache handle is shared across a run.
+        """
+        if self._engine is None:
+            cache: Optional[ResultCache] = None
+            if self.cache_dir is not None:
+                cache = ResultCache(
+                    self.cache_dir, max_bytes=self.cache_max_bytes
+                )
+            self._engine = BatchEngine(
+                jobs=self.jobs,
+                cache_dir=cache,
+                chunk_size=self.chunk_size,
+                refresh=self.refresh,
+                use_kernels=self.kernels,
+            )
+        return self._engine
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (manifests, the service's ``/v1/healthz``)."""
+        return {
+            "jobs": self.jobs,
+            "cache_dir": (
+                str(self.cache_dir) if self.cache_dir is not None else None
+            ),
+            "kernels": self.kernels,
+            "chunk_size": self.chunk_size,
+            "refresh": self.refresh,
+            "cache_max_bytes": self.cache_max_bytes,
+        }

@@ -30,6 +30,8 @@ from repro.experiments.tables import (
     MIXED_CODES,
     PAPER_AVERAGES,
     TABLE_BUILDERS,
+    TABLE_SPECS,
+    TableSpec,
     compare_with_paper,
     table1_text,
     table2,
@@ -50,8 +52,10 @@ __all__ = [
     "POWER_CODES",
     "SweepPoint",
     "TABLE_BUILDERS",
+    "TABLE_SPECS",
     "Table8Row",
     "Table9Row",
+    "TableSpec",
     "compare_with_paper",
     "export_all",
     "hierarchy_study",

@@ -13,8 +13,12 @@ power for *off-chip* loads (20–200 pF).  Following the paper's methodology:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.engine.config import ExecutionConfig
 
 from repro.metrics import count_transitions, render_table
 from repro.obs import metrics as obs_metrics
@@ -55,17 +59,31 @@ def simulate_codecs(
     length: int = 1500,
     width: int = 32,
     codes: Sequence[str] = POWER_CODES,
+    config: Optional["ExecutionConfig"] = None,
     engine: Optional["object"] = None,
 ) -> Dict[str, CodecPowerRun]:
     """Run each codec circuit over a benchmark multiplexed stream.
 
-    With ``engine`` (a :class:`repro.engine.BatchEngine`), the per-codec
-    gate-level simulations run as ``power-sim`` cells — parallel and
-    cache-served.  A cell payload carries only the cycle/toggle counts the
-    power estimator reads; the deterministic netlists are rebuilt here, so
-    the returned runs produce identical power figures either way (the
-    per-cycle output vectors, which nothing downstream reads, are empty).
+    With ``config`` (an :class:`repro.engine.ExecutionConfig`), the
+    per-codec gate-level simulations run as ``power-sim`` cells on the
+    config's engine — parallel and cache-served.  A cell payload carries
+    only the cycle/toggle counts the power estimator reads; the
+    deterministic netlists are rebuilt here, so the returned runs produce
+    identical power figures either way (the per-cycle output vectors,
+    which nothing downstream reads, are empty).
+
+    ``engine=`` is a deprecated shim for the pre-``ExecutionConfig``
+    surface; it emits :class:`DeprecationWarning` and will be removed.
     """
+    if engine is not None:
+        warnings.warn(
+            "simulate_codecs(engine=...) is deprecated; pass "
+            "config=ExecutionConfig(...) instead (see docs/engine.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if engine is None and config is not None:
+        engine = config.engine()
     trace = multiplexed_trace(get_profile(benchmark), length)
     if engine is not None:
         from repro.engine import METRIC_POWER, make_cell

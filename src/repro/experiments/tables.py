@@ -6,11 +6,21 @@ Tables 5–7 (mixed codes: T0_BI, dual T0, dual T0_BI) on the nine calibrated
 benchmark streams.  The returned :class:`~repro.metrics.report.PaperTable`
 renders the same rows the paper prints; ``PAPER_AVERAGES`` records the
 published column averages for comparison in EXPERIMENTS.md and the tests.
+
+:data:`TABLE_SPECS` is the machine-readable shape of Tables 2–7 (title,
+stream kind, codec roster) shared by the builders here, the CLI, and the
+evaluation service client — so a table rebuilt from service payloads is
+rendered from the same spec and comes out byte-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.engine.config import ExecutionConfig
 
 from repro.core import Codec, make_codec
 from repro.metrics import PaperTable, compare_codecs, render_table
@@ -47,6 +57,57 @@ EXISTING_CODES = ("t0", "bus-invert")
 MIXED_CODES = ("t0bi", "dualt0", "dualt0bi")
 
 
+@dataclass(frozen=True)
+class TableSpec:
+    """The shape of one stream table: what it measures, over which streams."""
+
+    number: int
+    title: str
+    kind: str  # trace kind: instruction | data | multiplexed
+    codecs: Sequence[str]
+
+
+#: Tables 2–7 by number — the single source of truth for their shape.
+TABLE_SPECS: Dict[int, TableSpec] = {
+    2: TableSpec(
+        2,
+        "Table 2 — existing codes, instruction address streams",
+        "instruction",
+        EXISTING_CODES,
+    ),
+    3: TableSpec(
+        3,
+        "Table 3 — existing codes, data address streams",
+        "data",
+        EXISTING_CODES,
+    ),
+    4: TableSpec(
+        4,
+        "Table 4 — existing codes, multiplexed address streams",
+        "multiplexed",
+        EXISTING_CODES,
+    ),
+    5: TableSpec(
+        5,
+        "Table 5 — mixed codes, instruction address streams",
+        "instruction",
+        MIXED_CODES,
+    ),
+    6: TableSpec(
+        6,
+        "Table 6 — mixed codes, data address streams",
+        "data",
+        MIXED_CODES,
+    ),
+    7: TableSpec(
+        7,
+        "Table 7 — mixed codes, multiplexed address streams",
+        "multiplexed",
+        MIXED_CODES,
+    ),
+}
+
+
 def _codecs(names: Sequence[str], width: int = 32, stride: int = 4) -> List[Codec]:
     built = []
     for name in names:
@@ -55,6 +116,18 @@ def _codecs(names: Sequence[str], width: int = 32, stride: int = 4) -> List[Code
         else:
             built.append(make_codec(name, width, stride=stride))
     return built
+
+
+def _deprecated_engine(
+    caller: str, engine: Optional[object], stacklevel: int = 3
+) -> None:
+    if engine is not None:
+        warnings.warn(
+            f"{caller}(engine=...) is deprecated; pass "
+            "config=ExecutionConfig(...) instead (see docs/engine.md)",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
 
 
 def _stream_table(
@@ -67,10 +140,11 @@ def _stream_table(
 ) -> PaperTable:
     """Build one paper table over the nine benchmark streams.
 
-    With ``engine`` (a :class:`repro.engine.BatchEngine`), the whole
-    table — every benchmark row's cells — is submitted as **one** batch,
-    so a worker pool spans the full grid rather than one row at a time;
-    the rendered table is identical to the sequential path.
+    With ``engine`` (built from the caller's
+    :class:`~repro.engine.ExecutionConfig`), the whole table — every
+    benchmark row's cells — is submitted as **one** batch, so a worker
+    pool spans the full grid rather than one row at a time; the rendered
+    table is identical to the sequential path.
     """
     codecs = _codecs(codec_names)
     table = PaperTable(title=title, codec_names=list(codec_names))
@@ -116,6 +190,21 @@ def _stream_table(
     return table
 
 
+def _spec_table(
+    number: int,
+    length: int,
+    config: Optional["ExecutionConfig"],
+    engine: Optional["object"],
+) -> PaperTable:
+    spec = TABLE_SPECS[number]
+    _deprecated_engine(f"table{number}", engine, stacklevel=4)
+    if engine is None and config is not None:
+        engine = config.engine()
+    return _stream_table(
+        spec.title, spec.kind, spec.codecs, length, engine=engine
+    )
+
+
 def table1_text(width: int = 32, stride: int = 1) -> str:
     """Table 1: analytical comparison (binary / T0 / bus-invert)."""
     rows = [
@@ -135,70 +224,58 @@ def table1_text(width: int = 32, stride: int = 1) -> str:
     )
 
 
-def table2(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
+def table2(
+    length: int = 0,
+    config: Optional["ExecutionConfig"] = None,
+    engine: Optional["object"] = None,
+) -> PaperTable:
     """Table 2: existing codes on instruction address streams."""
-    return _stream_table(
-        "Table 2 — existing codes, instruction address streams",
-        "instruction",
-        EXISTING_CODES,
-        length,
-        engine=engine,
-    )
+    return _spec_table(2, length, config, engine)
 
 
-def table3(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
+def table3(
+    length: int = 0,
+    config: Optional["ExecutionConfig"] = None,
+    engine: Optional["object"] = None,
+) -> PaperTable:
     """Table 3: existing codes on data address streams."""
-    return _stream_table(
-        "Table 3 — existing codes, data address streams",
-        "data",
-        EXISTING_CODES,
-        length,
-        engine=engine,
-    )
+    return _spec_table(3, length, config, engine)
 
 
-def table4(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
+def table4(
+    length: int = 0,
+    config: Optional["ExecutionConfig"] = None,
+    engine: Optional["object"] = None,
+) -> PaperTable:
     """Table 4: existing codes on multiplexed address streams."""
-    return _stream_table(
-        "Table 4 — existing codes, multiplexed address streams",
-        "multiplexed",
-        EXISTING_CODES,
-        length,
-        engine=engine,
-    )
+    return _spec_table(4, length, config, engine)
 
 
-def table5(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
+def table5(
+    length: int = 0,
+    config: Optional["ExecutionConfig"] = None,
+    engine: Optional["object"] = None,
+) -> PaperTable:
     """Table 5: mixed codes on instruction address streams."""
-    return _stream_table(
-        "Table 5 — mixed codes, instruction address streams",
-        "instruction",
-        MIXED_CODES,
-        length,
-        engine=engine,
-    )
+    return _spec_table(5, length, config, engine)
 
 
-def table6(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
+def table6(
+    length: int = 0,
+    config: Optional["ExecutionConfig"] = None,
+    engine: Optional["object"] = None,
+) -> PaperTable:
     """Table 6: mixed codes on data address streams."""
-    return _stream_table(
-        "Table 6 — mixed codes, data address streams",
-        "data",
-        MIXED_CODES,
-        length,
-        engine=engine,
-    )
+    return _spec_table(6, length, config, engine)
 
 
-def table7(length: int = 0, engine: Optional["object"] = None) -> PaperTable:
+def table7(
+    length: int = 0,
+    config: Optional["ExecutionConfig"] = None,
+    engine: Optional["object"] = None,
+) -> PaperTable:
     """Table 7: mixed codes on multiplexed address streams."""
-    return _stream_table(
-        "Table 7 — mixed codes, multiplexed address streams",
-        "multiplexed",
-        MIXED_CODES,
-        length,
-        engine=engine,
-    )
+    return _spec_table(7, length, config, engine)
 
 
 TABLE_BUILDERS = {

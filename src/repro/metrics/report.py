@@ -10,8 +10,12 @@ benchmarks, like the paper's per-column averages) and renders plain text.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.engine.config import ExecutionConfig
 
 from repro.core.base import Codec, encode_stream
 from repro.metrics.stats import in_sequence_fraction
@@ -47,29 +51,71 @@ class ComparisonRow:
         raise KeyError(f"no result for codec {name!r} in row {self.benchmark!r}")
 
 
+def _resolve_execution(
+    caller: str,
+    config: Optional["ExecutionConfig"],
+    engine: Optional[object],
+    use_kernels: Optional[bool],
+) -> Tuple[Optional[object], bool]:
+    """Fold the deprecated ``engine=``/``use_kernels=`` kwargs into the
+    :class:`~repro.engine.ExecutionConfig` surface.
+
+    Returns ``(engine, inline_kernels)``: the engine to submit cells to
+    (None for the inline sequential path) and whether the inline path may
+    route through the columnar kernels.  The deprecated kwargs win over
+    ``config`` when both are passed — matching what pre-redesign callers
+    asked for — but emit a :class:`DeprecationWarning` pointing at the
+    replacement.
+    """
+    if engine is not None:
+        warnings.warn(
+            f"{caller}(engine=...) is deprecated; pass "
+            "config=ExecutionConfig(...) instead (see docs/engine.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if use_kernels is not None:
+        warnings.warn(
+            f"{caller}(use_kernels=...) is deprecated; pass "
+            "config=ExecutionConfig(kernels=...) instead "
+            "(see docs/engine.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if engine is None and config is not None:
+        engine = config.engine()
+    inline_kernels = (
+        use_kernels
+        if use_kernels is not None
+        else (config.kernels if config is not None else True)
+    )
+    return engine, inline_kernels
+
+
 def compare_codecs(
     codecs: Sequence[Codec],
     addresses: Sequence[int],
     sels: Optional[Sequence[int]] = None,
     stride: int = 4,
     benchmark: str = "",
+    config: Optional["ExecutionConfig"] = None,
     engine: Optional["object"] = None,
-    use_kernels: bool = True,
+    use_kernels: Optional[bool] = None,
 ) -> ComparisonRow:
     """Encode one stream under every codec and tabulate savings vs binary.
 
     The binary reference is computed from the stream itself (not taken from
     ``codecs``), so callers may pass only the candidate codes.
 
-    With ``engine`` (a :class:`repro.engine.BatchEngine`), the row's cells
-    are submitted to the engine — parallel and cache-served — instead of
-    encoded inline; the resulting row is identical either way.
+    ``config`` (an :class:`repro.engine.ExecutionConfig`) is the one
+    execution knob: it decides worker count, caching, kernel routing and
+    chunking, and routes the row's cells through the config's engine —
+    parallel and cache-served.  The resulting row is bit-identical to the
+    inline sequential path taken when ``config`` is None.
 
-    ``use_kernels`` routes each codec through its columnar numpy kernel
-    (:mod:`repro.core.kernels`) when one exists; codecs without a kernel
-    (the trained beach code, the table-driven extensions) fall back to
-    the per-cycle reference path.  The row is bit-identical either way —
-    ``False`` forces the reference path everywhere.
+    ``engine=`` and ``use_kernels=`` are deprecated shims for the
+    pre-:class:`~repro.engine.ExecutionConfig` surface; both emit
+    :class:`DeprecationWarning` and will be removed.
     """
     if not addresses:
         raise ValueError("cannot compare codecs on an empty stream")
@@ -78,6 +124,9 @@ def compare_codecs(
         if codec.width != width:
             raise ValueError("all codecs in a comparison must share a width")
 
+    engine, inline_kernels = _resolve_execution(
+        "compare_codecs", config, engine, use_kernels
+    )
     if engine is not None:
         from repro.engine import comparison_cells, row_from_results
 
@@ -100,7 +149,7 @@ def compare_codecs(
     )
     results: List[CodecResult] = []
     for codec in codecs:
-        if use_kernels and kernels.has_encode_kernel(codec):
+        if inline_kernels and kernels.has_encode_kernel(codec):
             with obs_span(
                 "encode", codec=codec.name, cycles=len(addresses)
             ):

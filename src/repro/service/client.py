@@ -1,0 +1,205 @@
+"""Blocking client for the evaluation service (stdlib ``urllib`` only).
+
+The client half of the byte-identity contract:
+:func:`table_text_via_service` rebuilds a paper table from served
+payloads using the same :data:`~repro.experiments.tables.TABLE_SPECS`
+the CLI renders from, so its text diffs clean against
+``repro-bus tables N`` — the CI smoke job pins exactly that.
+
+Polling, not push: the service's results are retained and content
+addressed, so a poll loop with 429-aware submit retries is all the
+sophistication a client needs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.protocol import SCHEMA_VERSION, row_from_payload
+
+
+class ServiceError(RuntimeError):
+    """A non-success response from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(
+            f"service returned {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Thin blocking wrapper over the service's HTTP/JSON API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns ``(status, parsed body)``."""
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.load(resp)
+        except urllib.error.HTTPError as error:
+            try:
+                parsed = json.load(error)
+            except ValueError:
+                parsed = {"error": error.reason}
+            return error.code, parsed
+
+    def _expect(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        ok: Sequence[int] = (200,),
+    ) -> Dict[str, Any]:
+        status, parsed = self.request(method, path, payload)
+        if status not in ok:
+            raise ServiceError(status, parsed)
+        return parsed
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._expect("GET", "/v1/healthz")
+
+    def codec_roster(self) -> Dict[str, Any]:
+        return self._expect("GET", "/v1/codecs")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._expect("GET", "/v1/metrics")
+
+    def submit_trace(
+        self,
+        addresses: Sequence[int],
+        sels: Optional[Sequence[int]] = None,
+    ) -> str:
+        """Upload a stream to the corpus; returns its digest."""
+        parsed = self._expect(
+            "POST",
+            "/v1/traces",
+            {
+                "schema_version": SCHEMA_VERSION,
+                "trace": {
+                    "addresses": list(addresses),
+                    "sels": list(sels) if sels is not None else None,
+                },
+            },
+        )
+        digest = parsed["trace_digest"]
+        assert isinstance(digest, str)
+        return digest
+
+    def submit_job(
+        self, payload: Dict[str, Any], max_wait: float = 30.0
+    ) -> Dict[str, Any]:
+        """Submit a job, retrying on 429 until ``max_wait`` elapses."""
+        deadline = time.monotonic() + max_wait
+        while True:
+            status, parsed = self.request("POST", "/v1/jobs", payload)
+            if status == 202:
+                return parsed
+            if status == 429 and time.monotonic() < deadline:
+                time.sleep(min(float(parsed.get("retry_after", 1)), 2.0))
+                continue
+            raise ServiceError(status, parsed)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._expect("GET", f"/v1/jobs/{job_id}")
+
+    def manifest(self, job_id: str) -> Dict[str, Any]:
+        return self._expect("GET", f"/v1/jobs/{job_id}/manifest")
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; raises :class:`ServiceError` on
+        failure or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["status"] == "done":
+                return payload
+            if payload["status"] == "failed":
+                raise ServiceError(500, payload)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    504, {"error": f"job {job_id} still {payload['status']}"}
+                )
+            time.sleep(poll)
+
+    def evaluate(
+        self, payload: Dict[str, Any], timeout: float = 60.0
+    ) -> Dict[str, Any]:
+        """Submit and wait; returns the finished job payload."""
+        job = self.submit_job(payload, max_wait=timeout)
+        return self.wait(job["job_id"], timeout=timeout)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._expect("POST", "/v1/shutdown")
+
+
+def _codec_payloads(names: Sequence[str]) -> List[Dict[str, Any]]:
+    """The codec specs the table builders construct, as wire payloads.
+
+    Mirrors ``repro.experiments.tables._codecs``: stride-aware codecs get
+    the default stride explicitly so the job key is fully canonical.
+    """
+    specs: List[Dict[str, Any]] = []
+    for name in names:
+        params = {} if name == "bus-invert" else {"stride": 4}
+        specs.append({"name": name, "params": params})
+    return specs
+
+
+def table_text_via_service(
+    client: ServiceClient, number: int, length: int = 0
+) -> str:
+    """Rebuild one paper table from service results — byte-identical to
+    the ``repro-bus tables`` stdout for that table."""
+    from repro.experiments import TABLE_SPECS, compare_with_paper
+    from repro.metrics import PaperTable
+    from repro.tracegen import all_traces
+
+    spec = TABLE_SPECS[number]
+    table = PaperTable(title=spec.title, codec_names=list(spec.codecs))
+    for trace in all_traces(spec.kind, length):
+        label = trace.name.split(".")[0]
+        finished = client.evaluate(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "codecs": _codec_payloads(spec.codecs),
+                "metrics": ["codec-transitions"],
+                "width": 32,
+                "stride": trace.stride,
+                "benchmark": label,
+                "trace": {
+                    "addresses": list(trace.addresses),
+                    "sels": list(trace.effective_sels()),
+                },
+            }
+        )
+        table.add(row_from_payload(finished["result"]["row"], benchmark=label))
+    return f"{table.render()}\n\n{compare_with_paper(number, table)}\n"

@@ -1,0 +1,188 @@
+"""Bounded FIFO job queue with cross-client dedupe and backpressure.
+
+Job identity is the request's content address
+(:func:`~repro.service.protocol.request_key`), so submitting the same
+(trace digest, codec roster, metrics) twice — from one client or two —
+returns the *same* job.  An in-flight duplicate attaches to the pending
+computation; a duplicate of a completed job is served from the retained
+result without touching the engine at all.  That retention is the
+service-level analogue of the engine's result cache, and the property
+the acceptance test pins via ``core.encoded_words``: the second client
+causes zero encode work.
+
+Backpressure is admission control, not queue blocking: once
+``queued + running`` reaches the high-water mark, *new* job keys are
+rejected with :class:`ServiceOverloaded` (HTTP 429 + ``Retry-After``).
+Duplicates of already-admitted jobs are always accepted — they add
+waiters, not work.
+
+Single event loop, no locks: every method runs on the service's loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.service.protocol import EvalRequest, request_key
+
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+#: Completed jobs retained for dedupe, oldest evicted first.
+DEFAULT_RETAIN_DONE = 256
+
+
+class ServiceOverloaded(Exception):
+    """The queue is past its high-water mark; retry after a delay."""
+
+    def __init__(self, pending: int, retry_after: int) -> None:
+        super().__init__(
+            f"service overloaded: {pending} jobs pending; "
+            f"retry after {retry_after}s"
+        )
+        self.pending = pending
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One admitted evaluation: identity, state, result, waiters."""
+
+    key: str
+    request: EvalRequest
+    status: str = STATUS_QUEUED
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    error_status: int = 500
+    waiters: int = 1  # submissions that named this job (dedupe counter)
+    wall_s: Optional[float] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (STATUS_DONE, STATUS_FAILED)
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job_id": self.key,
+            "status": self.status,
+            "trace_digest": self.request.trace_digest,
+            "waiters": self.waiters,
+        }
+        if self.wall_s is not None:
+            payload["wall_s"] = self.wall_s
+        if self.status == STATUS_DONE:
+            payload["result"] = self.result
+        if self.status == STATUS_FAILED:
+            payload["error"] = self.error
+        return payload
+
+
+class JobQueue:
+    """FIFO admission queue keyed by request content address."""
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        retry_after: int = 2,
+        retain_done: int = DEFAULT_RETAIN_DONE,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self.max_pending = max_pending
+        self.retry_after = retry_after
+        self.retain_done = retain_done
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._fifo: Deque[str] = deque()
+        self._wakeup = asyncio.Event()
+
+    # -- admission ------------------------------------------------------
+
+    def pending(self) -> int:
+        """Jobs admitted but not finished (queued + running)."""
+        return sum(1 for job in self._jobs.values() if not job.finished)
+
+    def submit(self, request: EvalRequest) -> Tuple[Job, bool]:
+        """Admit a request; returns ``(job, deduped)``.
+
+        Raises :class:`ServiceOverloaded` only for *new* work past the
+        high-water mark — duplicates always attach.
+        """
+        key = request_key(request)
+        existing = self._jobs.get(key)
+        if existing is not None:
+            existing.waiters += 1
+            return existing, True
+        pending = self.pending()
+        if pending >= self.max_pending:
+            raise ServiceOverloaded(pending, self.retry_after)
+        job = Job(key=key, request=request)
+        self._jobs[key] = job
+        self._fifo.append(key)
+        self._wakeup.set()
+        return job, False
+
+    def get(self, key: str) -> Optional[Job]:
+        return self._jobs.get(key)
+
+    # -- the worker side ------------------------------------------------
+
+    async def next_job(self) -> Job:
+        """Block until a queued job is available, then claim it."""
+        while True:
+            while self._fifo:
+                job = self._jobs[self._fifo.popleft()]
+                if job.status == STATUS_QUEUED:
+                    job.status = STATUS_RUNNING
+                    return job
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def finish(
+        self,
+        job: Job,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        error_status: int = 500,
+        wall_s: Optional[float] = None,
+    ) -> None:
+        """Mark a running job done/failed and wake every waiter."""
+        if error is None:
+            job.status = STATUS_DONE
+            job.result = result
+        else:
+            job.status = STATUS_FAILED
+            job.error = error
+            job.error_status = error_status
+        job.wall_s = wall_s
+        job.done_event.set()
+        self._evict_done()
+
+    def _evict_done(self) -> None:
+        """Cap retained finished jobs (oldest admitted first)."""
+        finished = [k for k, job in self._jobs.items() if job.finished]
+        excess = len(finished) - self.retain_done
+        for key in finished[:excess]:
+            del self._jobs[key]
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        by_status: Dict[str, int] = {
+            STATUS_QUEUED: 0,
+            STATUS_RUNNING: 0,
+            STATUS_DONE: 0,
+            STATUS_FAILED: 0,
+        }
+        for job in self._jobs.values():
+            by_status[job.status] += 1
+        return {
+            "pending": self.pending(),
+            "max_pending": self.max_pending,
+            **by_status,
+        }

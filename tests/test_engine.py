@@ -15,6 +15,7 @@ import pytest
 from repro.core import make_codec
 from repro.engine import (
     BatchEngine,
+    ExecutionConfig,
     METRIC_BINARY,
     METRIC_CODEC,
     ResultCache,
@@ -132,11 +133,44 @@ class TestEngineRuns:
     def test_matches_sequential_row(self, stream, codecs):
         addresses, sels = stream
         sequential = compare_codecs(codecs, addresses, sels, benchmark="b")
-        engine = BatchEngine(jobs=1)
         row = compare_codecs(
-            codecs, addresses, sels, benchmark="b", engine=engine
+            codecs,
+            addresses,
+            sels,
+            benchmark="b",
+            config=ExecutionConfig(jobs=1),
         )
         assert row == sequential
+
+    def test_deprecated_kwargs_warn_but_still_work(self, stream, codecs):
+        addresses, sels = stream
+        sequential = compare_codecs(codecs, addresses, sels, benchmark="b")
+        with pytest.warns(DeprecationWarning, match="engine=.*deprecated"):
+            row = compare_codecs(
+                codecs,
+                addresses,
+                sels,
+                benchmark="b",
+                engine=BatchEngine(jobs=1),
+            )
+        assert row == sequential
+        with pytest.warns(
+            DeprecationWarning, match="use_kernels=.*deprecated"
+        ):
+            row = compare_codecs(
+                codecs, addresses, sels, benchmark="b", use_kernels=True
+            )
+        assert row == sequential
+
+    def test_config_memoizes_one_engine(self):
+        config = ExecutionConfig(jobs=1)
+        assert config.engine() is config.engine()
+        with pytest.raises(ValueError):
+            ExecutionConfig(jobs=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(cache_max_bytes=0)
 
     def test_deterministic_under_jobs_4(self, stream, codecs):
         """Merged output is index-ordered, not completion-ordered."""
@@ -359,7 +393,7 @@ class TestEnginePowerCells:
 
         sequential = simulate_codecs("gzip", 200, codes=("t0",))
         engine_runs = simulate_codecs(
-            "gzip", 200, codes=("t0",), engine=BatchEngine(jobs=1)
+            "gzip", 200, codes=("t0",), config=ExecutionConfig(jobs=1)
         )
         for side in ("encoder_result", "decoder_result"):
             a = estimate_from_simulation(

@@ -414,9 +414,10 @@ class TestEngineRouting:
         addresses, sels = _stream("mixed")
         codecs = [make_codec(name, 32) for name in ("t0", "gray", "wze")]
         fast = compare_codecs(codecs, addresses, sels, benchmark="b")
-        slow = compare_codecs(
-            codecs, addresses, sels, benchmark="b", use_kernels=False
-        )
+        with pytest.warns(DeprecationWarning, match="use_kernels="):
+            slow = compare_codecs(
+                codecs, addresses, sels, benchmark="b", use_kernels=False
+            )
         assert fast == slow
 
     def test_engine_payloads_match_across_flag(self):

@@ -19,7 +19,6 @@ from repro.core.base import (
     SEL_INSTRUCTION,
     decode_stream,
     encode_stream,
-    roundtrip_stream,
 )
 
 from tests.conftest import ALL_SIMPLE_CODECS, make_mixed_stream
@@ -207,12 +206,3 @@ class TestExtraLines:
         assert codec.extra_lines == ("INV0", "INV1")
         assert codec.extra_lines == ("INV0", "INV1")
         assert len(built) == 1  # instance-declared lines: probed once
-
-
-class TestDeprecationShim:
-    def test_roundtrip_stream_warns_and_delegates(self):
-        addresses, sels = _stream("mixed", length=60)
-        codec = make_codec("t0", 32)
-        with pytest.warns(DeprecationWarning, match="verify_roundtrip"):
-            words = roundtrip_stream(codec, addresses, sels)
-        assert words == verify_roundtrip(codec, addresses, sels)
